@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Engine microbenchmarks (google-benchmark): event-queue throughput,
+ * transient-solver primitives, power-system advancement, and a full
+ * end-to-end application run. These gate the simulator's own
+ * performance rather than reproducing a paper artifact.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "apps/ta.hh"
+#include "power/parts.hh"
+#include "power/power_system.hh"
+#include "power/solver.hh"
+#include "sim/logging.hh"
+#include "sim/event.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+using namespace capy;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    sim::EventQueue q;
+    double t = 0.0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            q.schedule(t + double(i % 7), [] {});
+        while (!q.empty())
+            q.runNext();
+        t += 10.0;
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_SimulatorNestedChain(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator s;
+        int depth = 0;
+        std::function<void()> chain = [&] {
+            if (++depth < 1000)
+                s.schedule(0.001, chain);
+        };
+        s.schedule(0.0, chain);
+        s.run();
+        benchmark::DoNotOptimize(depth);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorNestedChain);
+
+void
+BM_SolverAdvance(benchmark::State &state)
+{
+    power::Phase ph{5e-3, 7.5e-3, 2e5};
+    double e = 0.001;
+    for (auto _ : state) {
+        e = power::advanceEnergy(e, ph, 0.01);
+        if (e > 0.03)
+            e = 0.001;
+        benchmark::DoNotOptimize(e);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SolverAdvance);
+
+void
+BM_SolverCrossing(benchmark::State &state)
+{
+    power::Phase ph{5e-3, 7.5e-3, 2e5};
+    for (auto _ : state) {
+        double t = power::timeToEnergy(0.001, 0.02, ph);
+        benchmark::DoNotOptimize(t);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SolverCrossing);
+
+void
+BM_PowerSystemChargeCycle(benchmark::State &state)
+{
+    for (auto _ : state) {
+        power::PowerSystem::Spec spec;
+        power::PowerSystem ps(
+            spec,
+            std::make_unique<power::RegulatedSupply>(10e-3, 3.3));
+        ps.addBank("b", power::parts::edlc7_5mF());
+        ps.advanceTo(ps.timeToFull() + 1.0);
+        ps.setRailEnabled(true);
+        ps.setRailLoad(20e-3);
+        ps.advanceTo(ps.time() + ps.timeToBrownout());
+        benchmark::DoNotOptimize(ps.storageVoltage());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PowerSystemChargeCycle);
+
+void
+BM_RngExponential(benchmark::State &state)
+{
+    sim::Rng rng(1);
+    for (auto _ : state) {
+        double v = rng.exponential(30.0);
+        benchmark::DoNotOptimize(v);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngExponential);
+
+void
+BM_FullTempAlarmRun(benchmark::State &state)
+{
+    setQuiet(true);
+    sim::Rng rng(5, 0x7a);
+    auto sched = env::EventSchedule::poissonCount(rng, 10, 600.0, 30.0);
+    for (auto _ : state) {
+        auto m = apps::runTempAlarm(core::Policy::CapyP, sched, 5,
+                                    600.0);
+        benchmark::DoNotOptimize(m.summary.correct);
+    }
+    // Simulated seconds per wall second is the figure of merit.
+    state.SetItemsProcessed(state.iterations() * 600);
+}
+BENCHMARK(BM_FullTempAlarmRun)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

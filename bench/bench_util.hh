@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches: headers,
+ * paper-shape checks, and ASCII sparklines. Each bench binary
+ * regenerates one table/figure of the paper's evaluation; it prints
+ * the same rows/series the paper reports and then asserts the
+ * qualitative claims ("shape checks"). A failed shape check exits
+ * non-zero so regressions show up in CI.
+ */
+
+#ifndef CAPY_BENCH_UTIL_HH
+#define CAPY_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace capy::bench
+{
+
+inline int shapeFailures = 0;
+
+/** Print the bench banner. */
+inline void
+banner(const char *figure, const char *title)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", figure, title);
+    std::printf("==============================================================\n");
+}
+
+/** Record and print one shape check. */
+inline void
+shapeCheck(bool ok, const char *claim)
+{
+    std::printf("paper-shape check: [%s] %s\n", ok ? "PASS" : "FAIL",
+                claim);
+    if (!ok)
+        ++shapeFailures;
+}
+
+/** Exit status for main(): non-zero when any shape check failed. */
+inline int
+finish()
+{
+    if (shapeFailures > 0) {
+        std::printf("\n%d paper-shape check(s) FAILED\n", shapeFailures);
+        return 1;
+    }
+    std::printf("\nall paper-shape checks passed\n");
+    return 0;
+}
+
+/** Simple ASCII bar for table rows, scaled to @p width chars. */
+inline std::string
+bar(double value, double max_value, int width = 40)
+{
+    if (max_value <= 0.0)
+        return "";
+    int n = static_cast<int>(value / max_value * width + 0.5);
+    if (n < 0)
+        n = 0;
+    if (n > width)
+        n = width;
+    return std::string(static_cast<std::size_t>(n), '#');
+}
+
+} // namespace capy::bench
+
+#endif // CAPY_BENCH_UTIL_HH

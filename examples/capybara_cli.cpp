@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Command-line simulation runner: run any paper application under any
+ * power-system policy with chosen seed/horizon, print the run
+ * metrics, and optionally export the per-task energy profile.
+ *
+ * Usage:
+ *   capybara_cli --app ta|grc-fast|grc-compact|csr
+ *                [--policy pwr|fixed|capy-r|capy-p]   (default all)
+ *                [--seed N] [--horizon S] [--events N]
+ *
+ * Examples:
+ *   capybara_cli --app ta
+ *   capybara_cli --app grc-fast --policy capy-p --seed 7
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/csr.hh"
+#include "apps/grc.hh"
+#include "apps/ta.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+using namespace capy;
+using namespace capy::apps;
+using namespace capy::core;
+
+namespace
+{
+
+struct Options
+{
+    std::string app = "ta";
+    std::string policy = "all";
+    std::uint64_t seed = 2018;
+    double horizon = -1.0;
+    std::size_t events = 0;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --app ta|grc-fast|grc-compact|csr "
+                 "[--policy pwr|fixed|capy-r|capy-p|all] [--seed N] "
+                 "[--horizon S] [--events N]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--app"))
+            opt.app = need("--app");
+        else if (!std::strcmp(argv[i], "--policy"))
+            opt.policy = need("--policy");
+        else if (!std::strcmp(argv[i], "--seed"))
+            opt.seed = std::strtoull(need("--seed"), nullptr, 10);
+        else if (!std::strcmp(argv[i], "--horizon"))
+            opt.horizon = std::strtod(need("--horizon"), nullptr);
+        else if (!std::strcmp(argv[i], "--events"))
+            opt.events = std::strtoul(need("--events"), nullptr, 10);
+        else
+            usage(argv[0]);
+    }
+    return opt;
+}
+
+std::vector<Policy>
+policiesFor(const std::string &name, const char *argv0)
+{
+    if (name == "all")
+        return {Policy::Continuous, Policy::Fixed, Policy::CapyR,
+                Policy::CapyP};
+    if (name == "pwr")
+        return {Policy::Continuous};
+    if (name == "fixed")
+        return {Policy::Fixed};
+    if (name == "capy-r")
+        return {Policy::CapyR};
+    if (name == "capy-p")
+        return {Policy::CapyP};
+    std::fprintf(stderr, "unknown policy '%s'\n", name.c_str());
+    usage(argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    Options opt = parse(argc, argv);
+
+    bool is_ta = opt.app == "ta";
+    double horizon =
+        opt.horizon > 0 ? opt.horizon
+                        : (is_ta ? kTaHorizon : kGrcHorizon);
+    std::size_t events =
+        opt.events > 0 ? opt.events : (is_ta ? kTaEvents : kGrcEvents);
+
+    sim::Rng rng(opt.seed, is_ta ? 0x7a : 0x9c);
+    auto sched = env::EventSchedule::poissonCount(rng, events, horizon,
+                                                  is_ta ? 60.0 : 30.0);
+
+    std::printf("%s: %zu events over %.0f s (seed %llu)\n\n",
+                opt.app.c_str(), sched.size(), horizon,
+                (unsigned long long)opt.seed);
+
+    sim::Table t({"system", "correct", "misclassified", "missed",
+                  "latency mean (s)", "samples", "boots",
+                  "power failures"});
+    for (Policy p : policiesFor(opt.policy, argv[0])) {
+        RunMetrics m;
+        if (opt.app == "ta")
+            m = runTempAlarm(p, sched, opt.seed, horizon);
+        else if (opt.app == "grc-fast")
+            m = runGestureRemote(GrcVariant::Fast, p, sched, opt.seed,
+                                 horizon);
+        else if (opt.app == "grc-compact")
+            m = runGestureRemote(GrcVariant::Compact, p, sched,
+                                 opt.seed, horizon);
+        else if (opt.app == "csr")
+            m = runCorrSense(p, sched, opt.seed, horizon);
+        else
+            usage(argv[0]);
+        t.addRow({policyName(p),
+                  sim::percentCell(m.summary.fracCorrect),
+                  sim::cell(m.summary.misclassified),
+                  sim::cell(m.summary.missed),
+                  m.summary.latency.count()
+                      ? sim::cell(m.summary.latency.mean(), 4)
+                      : "-",
+                  sim::cell(m.samples), sim::cell(m.device.boots),
+                  sim::cell(m.device.powerFailures)});
+    }
+    t.print();
+    return 0;
+}

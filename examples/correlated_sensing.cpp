@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The Correlated Sensing and Report application (§6.1.3): on a
+ * magnetic-field event, immediately collect 32 distance samples,
+ * light an LED, and transmit — an event chain of three bursts served
+ * from one pre-charged bank.
+ *
+ * Usage: correlated_sensing [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/csr.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+using namespace capy;
+using namespace capy::apps;
+using namespace capy::core;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                  : 2018;
+    auto sched = grcSchedule(seed);
+    std::printf("CSR: %zu magnet swings over %.0f minutes (seed "
+                "%llu)\n\n",
+                sched.size(), kGrcHorizon / 60.0,
+                (unsigned long long)seed);
+
+    sim::Table t({"system", "correct", "misclassified", "missed",
+                  "latency mean (s)", "magnetometer samples",
+                  "bursts"});
+    for (Policy p : {Policy::Continuous, Policy::Fixed, Policy::CapyR,
+                     Policy::CapyP}) {
+        RunMetrics m = runCorrSense(p, sched, seed);
+        t.addRow({policyName(p),
+                  sim::percentCell(m.summary.fracCorrect),
+                  sim::cell(m.summary.misclassified),
+                  sim::cell(m.summary.missed),
+                  m.summary.latency.count()
+                      ? sim::cell(m.summary.latency.mean(), 4)
+                      : "-",
+                  sim::cell(m.samples),
+                  sim::cell(m.runtime.burstActivations)});
+    }
+    t.print();
+
+    std::printf(
+        "\nA 'misclassified' CSR report carries stale distance data: "
+        "the chain ran\ntoo late, after the magnet had already left "
+        "(which is what happens to\nCapy-R: it recharges between "
+        "detection and the distance scan).\n");
+    return 0;
+}

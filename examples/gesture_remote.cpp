@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The Wireless Gesture-Activated Remote Control (§6.1.1) in both of
+ * its task-structure variants, under each power-system discipline.
+ *
+ * Usage: gesture_remote [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/grc.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+using namespace capy;
+using namespace capy::apps;
+using namespace capy::core;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                  : 2018;
+    auto sched = grcSchedule(seed);
+    std::printf("GRC: %zu tap-and-swipe motions over %.0f minutes "
+                "(seed %llu)\n\n",
+                sched.size(), kGrcHorizon / 60.0,
+                (unsigned long long)seed);
+
+    for (GrcVariant variant : {GrcVariant::Fast, GrcVariant::Compact}) {
+        std::printf("%s:\n", grcVariantName(variant));
+        sim::Table t({"system", "correct", "misclassified",
+                      "proximity-only", "missed", "latency mean (s)",
+                      "bursts", "burst recharges"});
+        for (Policy p : {Policy::Continuous, Policy::Fixed,
+                         Policy::CapyR, Policy::CapyP}) {
+            RunMetrics m = runGestureRemote(variant, p, sched, seed);
+            t.addRow({policyName(p),
+                      sim::percentCell(m.summary.fracCorrect),
+                      sim::cell(m.summary.misclassified),
+                      sim::cell(m.summary.proximityOnly),
+                      sim::cell(m.summary.missed),
+                      m.summary.latency.count()
+                          ? sim::cell(m.summary.latency.mean(), 4)
+                          : "-",
+                      sim::cell(m.runtime.burstActivations),
+                      sim::cell(m.runtime.burstRecharges)});
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    std::printf(
+        "Capy-R is unsuited to this application: after proximity "
+        "fires, it pauses\nto charge the gesture bank — by the time "
+        "the device wakes, the motion is\nlong over (proximity-only "
+        "rows). Capy-P pre-charged that bank and spends\nit "
+        "immediately.\n");
+    return 0;
+}

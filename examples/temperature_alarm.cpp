@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The Temperature Monitor with Alarm application (§6.1.2), run under
+ * all four power-system disciplines on the same 50-event sequence.
+ * Prints a Fig. 8/9-style comparison plus the sampling-quality
+ * breakdown of Fig. 11.
+ *
+ * Usage: temperature_alarm [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/ta.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+using namespace capy;
+using namespace capy::apps;
+using namespace capy::core;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                  : 2018;
+    auto sched = taSchedule(seed);
+    std::printf("TempAlarm: %zu temperature excursions over %.0f "
+                "minutes (seed %llu)\n\n",
+                sched.size(), kTaHorizon / 60.0,
+                (unsigned long long)seed);
+
+    sim::Table t({"system", "correct", "missed", "latency mean (s)",
+                  "samples", "mean charge gap (s)", "boots"});
+    for (Policy p : {Policy::Continuous, Policy::Fixed, Policy::CapyR,
+                     Policy::CapyP}) {
+        RunMetrics m = runTempAlarm(p, sched, seed);
+        t.addRow({policyName(p),
+                  sim::percentCell(m.summary.fracCorrect),
+                  sim::cell(m.summary.missed),
+                  m.summary.latency.count()
+                      ? sim::cell(m.summary.latency.mean(), 4)
+                      : "-",
+                  sim::cell(m.samples),
+                  sim::cell(m.chargeSpanMean, 3),
+                  sim::cell(m.device.boots)});
+    }
+    t.print();
+
+    std::printf(
+        "\nReading the table:\n"
+        " - Fixed provisions one worst-case bank: long recharges "
+        "swallow events.\n"
+        " - Capy-R reconfigures between a small sampling bank and the "
+        "large radio\n   bank, but charges the radio bank on the "
+        "critical path after detection.\n"
+        " - Capy-P pre-charges the radio bank ahead of time and "
+        "spends it as an\n   energy burst the moment an alarm fires."
+        "\n");
+    return 0;
+}

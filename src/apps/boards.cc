@@ -1,0 +1,186 @@
+#include "apps/boards.hh"
+
+#include "dev/mcu.hh"
+#include "env/light.hh"
+#include "power/parts.hh"
+#include "power/units.hh"
+#include "sim/logging.hh"
+
+namespace capy::apps
+{
+
+using namespace capy::literals;
+using power::CapacitorSpec;
+using power::parallelCompose;
+namespace parts = capy::power::parts;
+
+const char *
+appBoardName(AppBoard board)
+{
+    switch (board) {
+      case AppBoard::TempAlarm:
+        return "TempAlarm";
+      case AppBoard::GestureFast:
+        return "GestureFast";
+      case AppBoard::GestureCompact:
+        return "GestureCompact";
+      case AppBoard::CorrSense:
+        return "CorrSense";
+    }
+    capy_panic("unknown AppBoard %d", static_cast<int>(board));
+}
+
+namespace
+{
+
+/** Per-panel peak power of the TrisolX-class wing under the halogen
+ *  at full brightness. */
+constexpr double kPanelPeakPower = 1.0e-3;
+constexpr unsigned kPanelsInSeries = 2;
+constexpr double kHalogenDuty = 0.42;
+
+/**
+ * Effective power delivered by the GRC/CSR bench harvester (a
+ * regulated supply behind an attenuating resistor, §6.1.1). The rig
+ * supplies *at most* 10 mW; the attenuator's operating point delivers
+ * ~8 mW into the board, which is what makes the fixed worst-case bank
+ * spend most of its time charging (Fixed detects ~18% in Fig. 8).
+ */
+constexpr double kGrcHarvest = 8.0e-3;
+
+CapacitorSpec
+grcSmall()
+{
+    return parallelCompose(
+        {parts::x5r100uF().parallel(4), parts::tant330uF()});
+}
+
+CapacitorSpec
+taSmall()
+{
+    return parallelCompose(
+        {parts::x5r100uF().parallel(3), parts::tant100uF()});
+}
+
+CapacitorSpec
+taBig()
+{
+    return parallelCompose(
+        {parts::tant1000uF(), parts::edlc7_5mF()});
+}
+
+CapacitorSpec
+grcFixed()
+{
+    return parallelCompose(
+        {parts::x5r100uF().parallel(4), parts::tant330uF(),
+         parts::edlc7_5mF().parallel(9)});
+}
+
+CapacitorSpec
+taFixed()
+{
+    return parallelCompose(
+        {parts::x5r100uF().parallel(3), parts::tant1000uF(),
+         parts::tant100uF(), parts::edlc7_5mF()});
+}
+
+std::unique_ptr<power::Harvester>
+makeHarvester(AppBoard app)
+{
+    if (app == AppBoard::TempAlarm) {
+        env::PwmHalogen halogen(kHalogenDuty);
+        return std::make_unique<power::SolarArray>(
+            kPanelsInSeries, kPanelPeakPower, 2.5,
+            halogen.illumination(), 60.0);
+    }
+    return std::make_unique<power::RegulatedSupply>(kGrcHarvest,
+                                                    3.3_V);
+}
+
+} // namespace
+
+double
+taHarvestPower()
+{
+    return kPanelsInSeries * kPanelPeakPower * kHalogenDuty;
+}
+
+double
+grcHarvestPower()
+{
+    return kGrcHarvest;
+}
+
+Board
+makeBoard(sim::Simulator &sim, AppBoard app, core::Policy policy,
+          power::SwitchKind switch_kind, double precharge_penalty)
+{
+    Board board;
+    power::PowerSystem::Spec spec;  // defaults from DESIGN.md §5
+    if (precharge_penalty >= 0.0)
+        spec.prechargePenaltyVoltage = precharge_penalty;
+
+    auto ps = std::make_unique<power::PowerSystem>(spec,
+                                                   makeHarvester(app));
+
+    bool reconfigurable = policy == core::Policy::CapyR ||
+                          policy == core::Policy::CapyP;
+
+    if (!reconfigurable) {
+        // Fixed (and the continuously-powered reference, which uses
+        // the same storage): one hard-wired worst-case bank.
+        CapacitorSpec fixed;
+        switch (app) {
+          case AppBoard::TempAlarm:
+            fixed = taFixed();
+            break;
+          case AppBoard::GestureFast:
+          case AppBoard::GestureCompact:
+          case AppBoard::CorrSense:
+            fixed = grcFixed();
+            break;
+        }
+        ps->addBank("fixed", fixed);
+    } else {
+        CapacitorSpec small_bank, big_bank;
+        switch (app) {
+          case AppBoard::TempAlarm:
+            small_bank = taSmall();
+            big_bank = taBig();
+            break;
+          case AppBoard::GestureFast:
+          case AppBoard::CorrSense:
+            small_bank = grcSmall();
+            big_bank = parts::edlc7_5mF().parallel(6);  // 45 mF
+            break;
+          case AppBoard::GestureCompact:
+            small_bank = grcSmall();
+            big_bank = parts::edlc7_5mF().parallel(9);  // 67.5 mF
+            break;
+        }
+        ps->addBank("small", small_bank);
+        power::SwitchSpec sw;
+        sw.kind = switch_kind;
+        board.bigBank = ps->addSwitchedBank("big", big_bank, sw);
+    }
+
+    board.ps = ps.get();
+    auto power_mode = policy == core::Policy::Continuous
+                          ? dev::Device::PowerMode::Continuous
+                          : dev::Device::PowerMode::Intermittent;
+    board.device = std::make_unique<dev::Device>(
+        sim, std::move(ps), dev::msp430fr5969(), power_mode);
+
+    board.smallMode = board.registry.define("small", {});
+    if (board.bigBank >= 0) {
+        board.bigMode = board.registry.define("big", {board.bigBank});
+    } else {
+        // Fixed/Pwr boards still need mode ids for uniform app code;
+        // both modes resolve to "no switched banks".
+        board.bigMode = board.registry.define("big", {});
+    }
+    return board;
+}
+
+} // namespace capy::apps

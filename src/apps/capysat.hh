@@ -1,0 +1,48 @@
+/**
+ * @file
+ * CapySat case study (§6.6): a board-scale low-earth-orbit satellite
+ * built by specializing Capybara. Volume and temperature constraints
+ * disqualify batteries, so the board stores energy in ultra-compact
+ * EDLC supercapacitors that are only usable thanks to the input and
+ * output boosters. The application runs on two MCUs concurrently —
+ * one sampling the attitude sensors, one transmitting 1-byte,
+ * redundantly-coded radio packets (250 ms at ~30 mA) — so the bank
+ * switch simplifies into a diode splitter that statically dedicates
+ * one bank to each MCU at ~20% of the switch area.
+ */
+
+#ifndef CAPY_APPS_CAPYSAT_HH
+#define CAPY_APPS_CAPYSAT_HH
+
+#include <cstdint>
+
+#include "dev/device.hh"
+
+namespace capy::apps
+{
+
+/** Results of a CapySat mission segment. */
+struct CapySatResult
+{
+    std::uint64_t samples = 0;          ///< attitude samples taken
+    std::uint64_t packets = 0;          ///< downlink packets sent
+    std::uint64_t packetsDelivered = 0;
+    std::uint64_t samplesInEclipse = 0;
+    std::uint64_t packetsInEclipse = 0;
+    dev::Device::Stats samplingMcu;
+    dev::Device::Stats commMcu;
+    /** Diode-splitter area vs. a full bank-switch module, mm^2. */
+    double splitterArea = 0.0;
+    double switchArea = 0.0;
+    double capacitorVolume = 0.0;  ///< total storage volume, mm^3
+};
+
+/**
+ * Fly the satellite for @p orbits orbits.
+ * @param seed RNG seed for radio loss.
+ */
+CapySatResult runCapySat(double orbits, std::uint64_t seed);
+
+} // namespace capy::apps
+
+#endif // CAPY_APPS_CAPYSAT_HH

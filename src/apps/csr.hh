@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Correlated Sensing and Report (CSR, §6.1.3): sample a magnetometer
+ * at a consistent rate; on a magnetic-field event, immediately and
+ * atomically collect 32 distance samples with the proximity sensor,
+ * light an LED for 250 ms, and send an 8-byte BLE packet.
+ */
+
+#ifndef CAPY_APPS_CSR_HH
+#define CAPY_APPS_CSR_HH
+
+#include "apps/experiment.hh"
+
+namespace capy::apps
+{
+
+/** Run the CSR application under @p policy against @p schedule. */
+RunMetrics runCorrSense(core::Policy policy,
+                        const env::EventSchedule &schedule,
+                        std::uint64_t seed,
+                        double horizon = kGrcHorizon);
+
+} // namespace capy::apps
+
+#endif // CAPY_APPS_CSR_HH

@@ -1,0 +1,69 @@
+#include "apps/experiment.hh"
+
+#include <algorithm>
+
+namespace capy::apps
+{
+
+env::EventSchedule
+taSchedule(std::uint64_t seed)
+{
+    sim::Rng rng(seed, 0x7a);
+    // Leave the cold-start period event-free, as the rigs do.
+    return env::EventSchedule::poissonCount(rng, kTaEvents, kTaHorizon,
+                                            60.0);
+}
+
+env::EventSchedule
+grcSchedule(std::uint64_t seed)
+{
+    sim::Rng rng(seed, 0x9c);
+    return env::EventSchedule::poissonCount(rng, kGrcEvents,
+                                            kGrcHorizon, 30.0);
+}
+
+void
+collectMetrics(RunMetrics &out, const env::Scoreboard &sb,
+               const dev::Device &device, const rt::Kernel &kernel,
+               const core::Runtime &runtime, const dev::Radio &radio)
+{
+    out.policy = runtime.policy();
+    out.summary = sb.summarize();
+    out.intervals = sb.sampleIntervals();
+    out.device = device.stats();
+    out.kernel = kernel.stats();
+    out.runtime = runtime.stats();
+    out.packetsSent = radio.packetsSent();
+    out.packetsLost = radio.packetsLost();
+    out.samples = sb.samples().size();
+
+    double total = 0.0;
+    for (const auto &span : device.spans().spans()) {
+        if (span.label != "charging")
+            continue;
+        ++out.chargeSpans;
+        total += span.duration();
+        out.chargeSpanMax = std::max(out.chargeSpanMax,
+                                     span.duration());
+    }
+    out.chargeSpanMean =
+        out.chargeSpans ? total / double(out.chargeSpans) : 0.0;
+
+    const auto &ps = device.powerSystem();
+    for (int i = 0; i < ps.numBanks(); ++i) {
+        out.bankCycles.emplace_back(ps.bank(i).name(),
+                                    ps.bank(i).cyclesUsed());
+    }
+    out.taskEnergy = kernel.energyByTask();
+}
+
+std::uint64_t
+bankCyclesFor(const RunMetrics &m, const std::string &bank_name)
+{
+    for (const auto &[name, cycles] : m.bankCycles)
+        if (name == bank_name)
+            return cycles;
+    return 0;
+}
+
+} // namespace capy::apps

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared experiment driver: per-run metrics, schedule builders with
+ * the paper's event counts/horizons (§6.2), and metric collection.
+ */
+
+#ifndef CAPY_APPS_EXPERIMENT_HH
+#define CAPY_APPS_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/boards.hh"
+#include "core/runtime.hh"
+#include "dev/radio.hh"
+#include "env/events.hh"
+#include "env/scoring.hh"
+#include "rt/kernel.hh"
+
+namespace capy::apps
+{
+
+/** Everything one application run produces. */
+struct RunMetrics
+{
+    core::Policy policy = core::Policy::Fixed;
+    env::Scoreboard::Summary summary;
+    /** Inter-sample intervals (Fig. 11). */
+    std::vector<env::Scoreboard::Interval> intervals;
+    dev::Device::Stats device;
+    rt::Kernel::Stats kernel;
+    core::Runtime::Stats runtime;
+    std::uint64_t packetsSent = 0;
+    std::uint64_t packetsLost = 0;
+    std::uint64_t samples = 0;
+    /** Charging-interval statistics over the run. */
+    std::size_t chargeSpans = 0;
+    double chargeSpanMean = 0.0;
+    double chargeSpanMax = 0.0;
+    /** Full charge-discharge cycles per bank (wear levelling, §5.2). */
+    std::vector<std::pair<std::string, std::uint64_t>> bankCycles;
+    /** Per-task energy attribution (§3 measurement methodology). */
+    std::map<std::string, rt::Kernel::TaskEnergyUse> taskEnergy;
+};
+
+/** TA evaluation horizon: 50 events over 120 minutes (§6.2). */
+inline constexpr double kTaHorizon = 120.0 * 60.0;
+inline constexpr std::size_t kTaEvents = 50;
+
+/** GRC/CSR horizon: 80 events over 42 minutes (§6.2). */
+inline constexpr double kGrcHorizon = 42.0 * 60.0;
+inline constexpr std::size_t kGrcEvents = 80;
+
+/** The paper's TA event sequence (50 Poisson events / 120 min). */
+env::EventSchedule taSchedule(std::uint64_t seed);
+
+/** The paper's GRC/CSR event sequence (80 Poisson events / 42 min). */
+env::EventSchedule grcSchedule(std::uint64_t seed);
+
+/**
+ * Fill the bookkeeping shared by all runs (device/kernel/runtime
+ * stats, radio counters, scoreboard summary, charge spans).
+ */
+void collectMetrics(RunMetrics &out, const env::Scoreboard &sb,
+                    const dev::Device &device,
+                    const rt::Kernel &kernel,
+                    const core::Runtime &runtime,
+                    const dev::Radio &radio);
+
+/** Look up a bank's recorded cycles in @p m; 0 when absent. */
+std::uint64_t bankCyclesFor(const RunMetrics &m,
+                            const std::string &bank_name);
+
+} // namespace capy::apps
+
+#endif // CAPY_APPS_EXPERIMENT_HH

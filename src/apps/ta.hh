@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Temperature Monitor with Alarm (TA, §6.1.2): sample an analog
+ * temperature sensor into a 15-entry time series; when the
+ * temperature leaves the alarm band, transmit a 25-byte BLE alarm
+ * packet carrying the series.
+ *
+ * Atomicity requirements: (1) one temperature sample; (2) one 25-byte
+ * BLE transmission. Temporal requirements: dense sampling (to not
+ * miss excursions) and immediate alarm transmission.
+ */
+
+#ifndef CAPY_APPS_TA_HH
+#define CAPY_APPS_TA_HH
+
+#include "apps/experiment.hh"
+
+namespace capy::apps
+{
+
+/**
+ * Run the TA application under @p policy against @p schedule.
+ *
+ * @param seed RNG seed for sensor/radio imperfection.
+ * @param horizon simulated run length, s.
+ * @param precharge_penalty if >= 0, overrides the hardware's
+ *        pre-charge voltage penalty (§6.4 ablation).
+ */
+RunMetrics runTempAlarm(core::Policy policy,
+                        const env::EventSchedule &schedule,
+                        std::uint64_t seed,
+                        double horizon = kTaHorizon,
+                        double precharge_penalty = -1.0);
+
+} // namespace capy::apps
+
+#endif // CAPY_APPS_TA_HH

@@ -1,0 +1,271 @@
+#include "core/allocate.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "dev/device.hh"
+#include "dev/mcu.hh"
+#include "power/booster.hh"
+#include "power/solver.hh"
+#include "rt/kernel.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+namespace capy::core
+{
+
+namespace
+{
+
+/**
+ * Extractable rail energy of a composite bank between the charge
+ * target and the ESR-dependent brown-out floor.
+ */
+double
+usableRailEnergy(const power::CapacitorSpec &bank,
+                 const power::PowerSystem::Spec &spec, double rail_power)
+{
+    double vtop = std::min(spec.maxStorageVoltage, bank.ratedVoltage);
+    double v_bo =
+        power::brownoutVoltage(spec.output, rail_power, bank.esr);
+    if (v_bo >= vtop)
+        return 0.0;
+    double stored = 0.5 * bank.capacitance * (vtop * vtop - v_bo * v_bo);
+    // Rail-side: subtract converter loss and quiescent share.
+    double p_in = power::storageDrawPower(spec.output, rail_power);
+    return stored * rail_power / p_in;
+}
+
+/** Boot feasibility: can the composite start the output booster
+ *  under the MCU's boot load? */
+bool
+bootable(const power::CapacitorSpec &bank,
+         const power::PowerSystem::Spec &spec)
+{
+    double vtop = std::min(spec.maxStorageVoltage, bank.ratedVoltage);
+    double v_start = power::startVoltage(
+        spec.output, dev::msp430fr5969().activePower, bank.esr);
+    return v_start < vtop;
+}
+
+/**
+ * Smallest parallel count of @p unit such that @p base + the stack
+ * covers @p demand. Returns 0 when the unit alone can never work.
+ */
+int
+unitsFor(const power::CapacitorSpec &unit,
+         const power::CapacitorSpec *base, const TaskEnergy &demand,
+         const power::PowerSystem::Spec &spec, double derating,
+         int max_units = 256)
+{
+    for (int n = 0; n <= max_units; ++n) {
+        if (n == 0 && base == nullptr)
+            continue;
+        std::vector<power::CapacitorSpec> parts;
+        if (base)
+            parts.push_back(*base);
+        if (n > 0)
+            parts.push_back(unit.parallel(std::size_t(n)));
+        auto comp = power::parallelCompose(parts);
+        if (!bootable(comp, spec))
+            continue;
+        double usable = usableRailEnergy(comp, spec, demand.railPower);
+        if (usable >= derating * demand.railEnergy())
+            return n;
+    }
+    return -1;
+}
+
+/** Analytic charge-time estimate for a composite from empty. */
+double
+chargeEstimate(const power::CapacitorSpec &bank,
+               const power::PowerSystem::Spec &spec,
+               double harvest_power)
+{
+    double vtop = std::min(spec.maxStorageVoltage, bank.ratedVoltage);
+    double energy = 0.5 * bank.capacitance * vtop * vtop;
+    double p = spec.input.efficiency * harvest_power;
+    return p > 0.0 ? energy / p : power::kNever;
+}
+
+} // namespace
+
+double
+AllocationPlan::activeCapacitance(std::size_t i) const
+{
+    capy_assert(i < banks.size(), "mode index %zu", i);
+    const BankPlan *base = nullptr;
+    for (const auto &b : banks)
+        if (b.hardwired)
+            base = &b;
+    double c = base ? base->composition.capacitance : 0.0;
+    if (!banks[i].hardwired)
+        c += banks[i].composition.capacitance;
+    return c;
+}
+
+AllocationPlan
+allocateBanks(const std::vector<ModeRequirement> &modes,
+              const power::PowerSystem::Spec &spec,
+              const std::vector<power::CapacitorSpec> &catalog,
+              double harvest_power, double derating)
+{
+    capy_assert(!modes.empty(), "no modes to allocate");
+    capy_assert(!catalog.empty(), "empty part catalog");
+    capy_assert(derating >= 1.0, "derating %g < 1", derating);
+
+    AllocationPlan plan;
+
+    // Order modes by demand; the least demanding becomes the base.
+    std::vector<std::size_t> order(modes.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return modes[a].demand.railEnergy() <
+                         modes[b].demand.railEnergy();
+              });
+
+    const power::CapacitorSpec *base = nullptr;
+    power::CapacitorSpec base_comp;
+
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        const ModeRequirement &mode = modes[order[k]];
+        BankPlan bank;
+        bank.modeName = mode.name;
+        bank.hardwired = (k == 0);
+
+        // Pick the min-volume stack across the catalog that is both
+        // energy-feasible and within the mode's recharge-time bound.
+        double best_volume = -1.0;
+        for (const auto &unit : catalog) {
+            int n = unitsFor(unit, k == 0 ? nullptr : base,
+                             mode.demand, spec, derating);
+            if (n < 0)
+                continue;
+            {
+                // Recharge-time constraint on the active composite.
+                std::vector<power::CapacitorSpec> probe;
+                if (k > 0 && base)
+                    probe.push_back(*base);
+                if (n > 0)
+                    probe.push_back(unit.parallel(std::size_t(n)));
+                if (!probe.empty()) {
+                    double tc = chargeEstimate(
+                        power::parallelCompose(probe), spec,
+                        harvest_power);
+                    if (tc > mode.maxChargeTime)
+                        continue;
+                }
+            }
+            if (k > 0 && n == 0) {
+                // The base alone already covers this mode: no
+                // dedicated bank needed; an empty plan entry records
+                // that.
+                bank.unit = unit;
+                bank.unitCount = 0;
+                best_volume = 0.0;
+                break;
+            }
+            double vol = unit.volume * n;
+            if (best_volume < 0.0 || vol < best_volume) {
+                best_volume = vol;
+                bank.unit = unit;
+                bank.unitCount = n;
+            }
+        }
+        if (best_volume < 0.0)
+            return AllocationPlan{};  // infeasible
+
+        std::vector<power::CapacitorSpec> parts;
+        if (bank.unitCount > 0) {
+            bank.composition =
+                bank.unit.parallel(std::size_t(bank.unitCount));
+            parts.push_back(bank.composition);
+        }
+        if (k > 0 && base)
+            parts.push_back(*base);
+        auto active = parts.empty()
+                          ? base_comp
+                          : power::parallelCompose(parts);
+        bank.chargeTime = chargeEstimate(active, spec, harvest_power);
+
+        if (k == 0) {
+            base_comp = bank.composition;
+            base = &base_comp;
+        }
+        plan.totalVolume += bank.composition.volume;
+        if (!bank.hardwired && bank.unitCount > 0)
+            plan.totalSwitchArea += power::SwitchSpec{}.area;
+        plan.banks.push_back(std::move(bank));
+    }
+
+    // Restore the caller's mode order.
+    std::vector<BankPlan> reordered(plan.banks.size());
+    for (std::size_t k = 0; k < order.size(); ++k)
+        reordered[order[k]] = plan.banks[k];
+    // Keep the hardwired base first in activeCapacitance() logic:
+    // mark it instead of relying on position.
+    plan.banks = std::move(reordered);
+    plan.feasible = true;
+    return plan;
+}
+
+bool
+verifyAllocation(const AllocationPlan &plan,
+                 const std::vector<ModeRequirement> &modes,
+                 const power::PowerSystem::Spec &spec,
+                 double harvest_power)
+{
+    capy_assert(plan.banks.size() == modes.size(),
+                "plan/mode arity mismatch");
+    if (!plan.feasible)
+        return false;
+
+    // The base bank is whichever plan entry is hardwired.
+    const BankPlan *base = nullptr;
+    for (const auto &b : plan.banks)
+        if (b.hardwired)
+            base = &b;
+    capy_assert(base != nullptr, "plan lacks a hardwired base bank");
+
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+        const ModeRequirement &mode = modes[i];
+        const BankPlan &bank = plan.banks[i];
+
+        std::vector<power::CapacitorSpec> parts;
+        if (base->composition.capacitance > 0.0)
+            parts.push_back(base->composition);
+        if (!bank.hardwired && bank.unitCount > 0)
+            parts.push_back(bank.composition);
+        auto active = power::parallelCompose(parts);
+
+        sim::Simulator simulator;
+        auto ps = std::make_unique<power::PowerSystem>(
+            spec, std::make_unique<power::RegulatedSupply>(
+                      harvest_power, 3.3));
+        ps->addBank("active", active);
+        dev::Device device(simulator, std::move(ps),
+                           dev::msp430fr5969(),
+                           dev::Device::PowerMode::Intermittent);
+
+        rt::App app;
+        bool completed = false;
+        rt::Task *t = app.addTask(
+            "probe", mode.demand.duration, 0.0,
+            [&](rt::Kernel &) -> const rt::Task * {
+                completed = true;
+                return nullptr;
+            });
+        t->absolutePower = mode.demand.railPower;
+        rt::Kernel kernel(device, app);
+        kernel.start();
+        simulator.runUntil(3600.0);
+        if (!completed)
+            return false;
+    }
+    return true;
+}
+
+} // namespace capy::core

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Automatic bank allocation — the paper's stated future work (§8):
+ * "find an allocation of capacitors to banks for a set of task energy
+ * requirements."
+ *
+ * Given the energy modes of an application (each summarized by its
+ * most demanding task and whether it is temporally constrained), the
+ * allocator chooses concrete capacitor parts from a catalog and
+ * organizes them into a hard-wired base bank plus one switched bank
+ * per additional mode, minimizing total capacitor volume subject to:
+ *
+ *  - capacity: each mode's active set stores enough extractable
+ *    energy for its worst task (with derating),
+ *  - feasibility: the composite ESR keeps the brown-out floor below
+ *    the charge target and the boot droop below the start voltage,
+ *  - reactivity: the base (most reactive) mode is the smallest bank.
+ */
+
+#ifndef CAPY_CORE_ALLOCATE_HH
+#define CAPY_CORE_ALLOCATE_HH
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/provision.hh"
+#include "power/capacitor.hh"
+#include "power/power_system.hh"
+
+namespace capy::core
+{
+
+/** One energy mode's demand, as input to the allocator. */
+struct ModeRequirement
+{
+    std::string name;
+    /** The mode's most demanding task (rail power + duration). */
+    TaskEnergy demand;
+    /**
+     * Temporally constrained: the mode's recharge time should be
+     * minimized.
+     */
+    bool reactive = false;
+    /**
+     * Upper bound on the mode's estimated recharge time, s
+     * (infinity = unconstrained). Reactive modes set this to bound
+     * how long the device may be dark between executions.
+     */
+    double maxChargeTime = std::numeric_limits<double>::infinity();
+};
+
+/** One allocated bank. */
+struct BankPlan
+{
+    std::string modeName;
+    /** Catalog part chosen. */
+    power::CapacitorSpec unit;
+    int unitCount = 0;
+    /** The parallel composition actually placed. */
+    power::CapacitorSpec composition;
+    /** True for the always-connected base bank. */
+    bool hardwired = false;
+    /** Estimated recharge time of the mode's full active set, s. */
+    double chargeTime = 0.0;
+};
+
+/** A complete allocation. */
+struct AllocationPlan
+{
+    std::vector<BankPlan> banks;
+    double totalVolume = 0.0;      ///< mm^3 of capacitors
+    double totalSwitchArea = 0.0;  ///< mm^2 of switch modules
+    bool feasible = false;
+
+    /** Capacitance active in mode @p i (base + that mode's bank). */
+    double activeCapacitance(std::size_t i) const;
+};
+
+/**
+ * Allocate banks for @p modes (any order; the allocator sorts by
+ * demand) from @p catalog parts under power system @p spec.
+ *
+ * @param harvest_power expected harvest for charge-time estimates, W.
+ * @param derating capacity margin (>= 1).
+ */
+AllocationPlan
+allocateBanks(const std::vector<ModeRequirement> &modes,
+              const power::PowerSystem::Spec &spec,
+              const std::vector<power::CapacitorSpec> &catalog,
+              double harvest_power, double derating = 1.2);
+
+/**
+ * Validate an allocation by simulation: for each mode, run a task
+ * with the mode's demand on a device whose active banks follow the
+ * plan, and check it completes.
+ */
+bool verifyAllocation(const AllocationPlan &plan,
+                      const std::vector<ModeRequirement> &modes,
+                      const power::PowerSystem::Spec &spec,
+                      double harvest_power);
+
+} // namespace capy::core
+
+#endif // CAPY_CORE_ALLOCATE_HH

@@ -1,0 +1,81 @@
+#include "core/energy_mode.hh"
+
+#include "sim/logging.hh"
+
+namespace capy::core
+{
+
+ModeId
+ModeRegistry::define(std::string name, std::vector<int> switched_banks)
+{
+    capy_assert(!name.empty(), "mode needs a name");
+    capy_assert(find(name) == kNoMode, "duplicate mode '%s'",
+                name.c_str());
+    modes.push_back(Mode{std::move(name), std::move(switched_banks)});
+    return static_cast<ModeId>(modes.size()) - 1;
+}
+
+const ModeRegistry::Mode &
+ModeRegistry::get(ModeId id) const
+{
+    capy_assert(id >= 0 && id < static_cast<ModeId>(modes.size()),
+                "bad mode id %d", id);
+    return modes[static_cast<std::size_t>(id)];
+}
+
+const std::string &
+ModeRegistry::name(ModeId id) const
+{
+    return get(id).modeName;
+}
+
+const std::vector<int> &
+ModeRegistry::banks(ModeId id) const
+{
+    return get(id).bankSet;
+}
+
+ModeId
+ModeRegistry::find(const std::string &name) const
+{
+    for (std::size_t i = 0; i < modes.size(); ++i)
+        if (modes[i].modeName == name)
+            return static_cast<ModeId>(i);
+    return kNoMode;
+}
+
+const char *
+annKindName(AnnKind kind)
+{
+    switch (kind) {
+      case AnnKind::None:
+        return "none";
+      case AnnKind::Config:
+        return "config";
+      case AnnKind::Burst:
+        return "burst";
+      case AnnKind::Preburst:
+        return "preburst";
+    }
+    capy_panic("unknown AnnKind %d", static_cast<int>(kind));
+}
+
+Annotation
+Annotation::config(ModeId m)
+{
+    return Annotation{AnnKind::Config, m, kNoMode};
+}
+
+Annotation
+Annotation::burst(ModeId m)
+{
+    return Annotation{AnnKind::Burst, m, kNoMode};
+}
+
+Annotation
+Annotation::preburst(ModeId bmode, ModeId emode)
+{
+    return Annotation{AnnKind::Preburst, emode, bmode};
+}
+
+} // namespace capy::core

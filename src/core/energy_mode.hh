@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Energy modes (§4.1): named identifiers that map software-visible
+ * energy requirements onto subsets of the hardware's switched
+ * capacitor banks, plus the task annotations (`config`, `burst`,
+ * `preburst`) programmers attach to tasks.
+ */
+
+#ifndef CAPY_CORE_ENERGY_MODE_HH
+#define CAPY_CORE_ENERGY_MODE_HH
+
+#include <string>
+#include <vector>
+
+namespace capy::core
+{
+
+/** Identifier of an energy mode; index into the ModeRegistry. */
+using ModeId = int;
+
+/** "No mode" sentinel. */
+inline constexpr ModeId kNoMode = -1;
+
+/**
+ * The mapping from energy modes to hardware configurations. A mode
+ * names the set of *switched* banks that must be active; hard-wired
+ * banks are always active and are not listed.
+ */
+class ModeRegistry
+{
+  public:
+    /**
+     * Define a mode.
+     * @param name human-readable mode name (e.g. "sample", "radio").
+     * @param switched_banks PowerSystem bank indices that must be
+     *        active (closed) in this mode; all other switched banks
+     *        are deactivated.
+     */
+    ModeId define(std::string name, std::vector<int> switched_banks);
+
+    std::size_t count() const { return modes.size(); }
+    const std::string &name(ModeId id) const;
+    const std::vector<int> &banks(ModeId id) const;
+
+    /** Look up a mode by name; kNoMode when absent. */
+    ModeId find(const std::string &name) const;
+
+  private:
+    struct Mode
+    {
+        std::string modeName;
+        std::vector<int> bankSet;
+    };
+
+    const Mode &get(ModeId id) const;
+
+    std::vector<Mode> modes;
+};
+
+/** Kind of energy annotation on a task (§4). */
+enum class AnnKind
+{
+    None,      ///< intermittent task with no declared requirement
+    Config,    ///< config(mode): reconfigure + charge before running
+    Burst,     ///< burst(mode): activate pre-charged banks, run now
+    Preburst,  ///< preburst(bmode, emode): charge a future burst's
+               ///< banks off the critical path, then run in emode
+};
+
+const char *annKindName(AnnKind kind);
+
+/** An energy annotation attached to a task. */
+struct Annotation
+{
+    AnnKind kind = AnnKind::None;
+    /** Config/Burst: the task's mode. Preburst: the execution mode
+     *  (emode). */
+    ModeId mode = kNoMode;
+    /** Preburst only: the burst mode charged ahead of time (bmode). */
+    ModeId burstMode = kNoMode;
+
+    /** config(mode) */
+    static Annotation config(ModeId m);
+    /** burst(mode) */
+    static Annotation burst(ModeId m);
+    /** preburst(bmode, emode) */
+    static Annotation preburst(ModeId bmode, ModeId emode);
+};
+
+} // namespace capy::core
+
+#endif // CAPY_CORE_ENERGY_MODE_HH

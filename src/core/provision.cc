@@ -1,0 +1,118 @@
+#include "core/provision.hh"
+
+#include <cmath>
+#include <memory>
+
+#include "dev/device.hh"
+#include "power/booster.hh"
+#include "power/harvester.hh"
+#include "rt/kernel.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+namespace capy::core
+{
+
+TaskEnergy
+measureTaskEnergy(const rt::Task &task, const dev::McuSpec &mcu)
+{
+    TaskEnergy e;
+    e.railPower = mcu.activePower + task.extraPower;
+    e.duration = task.duration + mcu.bootTime;
+    return e;
+}
+
+double
+requiredCapacitance(const TaskEnergy &demand,
+                    const power::PowerSystem::Spec &spec,
+                    const power::CapacitorSpec &unit, double derating)
+{
+    capy_assert(derating >= 1.0, "derating %g must be >= 1", derating);
+    double vtop = std::min(spec.maxStorageVoltage, unit.ratedVoltage);
+    // Storage-side energy demand: rail energy through the output
+    // booster plus its quiescent draw for the duration.
+    double e_in = storageDrawPower(spec.output, demand.railPower) *
+                  demand.duration;
+    e_in *= derating;
+
+    // Fixed point: C -> ESR(C) -> brown-out floor -> C.
+    double c = 2.0 * e_in /
+               (vtop * vtop -
+                spec.output.minInputRun * spec.output.minInputRun);
+    for (int iter = 0; iter < 32; ++iter) {
+        double units = std::max(1.0, c / unit.capacitance);
+        double esr = unit.esr / units;
+        double v_bo =
+            power::brownoutVoltage(spec.output, demand.railPower, esr);
+        capy_assert(v_bo < vtop,
+                    "part '%s' cannot serve %.3g W: brown-out floor "
+                    "%.3g V above charge target %.3g V",
+                    unit.part.c_str(), demand.railPower, v_bo, vtop);
+        double c_next = 2.0 * e_in / (vtop * vtop - v_bo * v_bo);
+        if (std::abs(c_next - c) <= 1e-9 * c) {
+            c = c_next;
+            break;
+        }
+        c = c_next;
+    }
+    return c;
+}
+
+ProvisionResult
+provisionByTrial(const rt::Task &task, const dev::McuSpec &mcu,
+                 const power::PowerSystem::Spec &spec,
+                 const power::CapacitorSpec &unit, double harvest_power,
+                 int max_units)
+{
+    capy_assert(max_units >= 1, "max_units must be >= 1");
+    for (int n = 1; n <= max_units; ++n) {
+        sim::Simulator simulator;
+        auto ps = std::make_unique<power::PowerSystem>(
+            spec, std::make_unique<power::RegulatedSupply>(
+                      harvest_power, 3.3));
+        ps->addBank("trial", unit.parallel(static_cast<std::size_t>(n)));
+        power::PowerSystem *ps_raw = ps.get();
+        dev::Device device(simulator, std::move(ps), mcu,
+                           dev::Device::PowerMode::Intermittent);
+
+        rt::App app;
+        bool completed = false;
+        app.addTask(task.name, task.duration, task.extraPower,
+                    [&](rt::Kernel &) -> const rt::Task * {
+                        completed = true;
+                        return nullptr;
+                    });
+        rt::Kernel kernel(device, app);
+
+        double first_full = -1.0;
+        kernel.start();
+        // Allow several charge/attempt cycles before giving up on
+        // this size; an undersized bank fails on every attempt.
+        sim::Time horizon = 3600.0;
+        capy::setQuiet(true);
+        while (simulator.now() < horizon && !completed &&
+               device.stats().powerFailures < 4) {
+            if (simulator.pendingEvents() == 0)
+                break;  // device declared itself stuck
+            simulator.runUntil(
+                std::min(horizon, simulator.now() + 10.0));
+            if (first_full < 0.0 &&
+                ps_raw->stats().chargeCompletions > 0) {
+                first_full = simulator.now();
+            }
+        }
+        capy::setQuiet(false);
+
+        if (completed) {
+            return ProvisionResult{
+                .feasible = true,
+                .unitCount = n,
+                .capacitance = unit.capacitance * n,
+                .chargeTime = first_full,
+            };
+        }
+    }
+    return ProvisionResult{};
+}
+
+} // namespace capy::core

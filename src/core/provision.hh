@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Energy provisioning (§3, "Defining Task Energy Requirements"):
+ * estimate a task's energy demand, derive the capacitance that
+ * furnishes it (analytically, with derating), and the paper's
+ * empirical method — run the task on a progressively larger bank
+ * until it completes (§6.1).
+ */
+
+#ifndef CAPY_CORE_PROVISION_HH
+#define CAPY_CORE_PROVISION_HH
+
+#include "dev/mcu.hh"
+#include "power/capacitor.hh"
+#include "power/power_system.hh"
+#include "rt/task.hh"
+
+namespace capy::core
+{
+
+/** A task's demand at the regulated rail. */
+struct TaskEnergy
+{
+    double railPower = 0.0;  ///< W while executing
+    double duration = 0.0;   ///< s of atomic execution
+
+    double railEnergy() const { return railPower * duration; }
+};
+
+/**
+ * "Measure" a task on continuous power with a current-sense
+ * amplifier (§3): in the model, the analytic rail power and duration.
+ * Includes the MCU's boot cost, which every attempt pays.
+ */
+TaskEnergy measureTaskEnergy(const rt::Task &task,
+                             const dev::McuSpec &mcu);
+
+/**
+ * Capacitance that stores enough extractable energy for @p demand,
+ * built from parallel copies of @p unit under power system @p spec.
+ *
+ * Solves E_stored(Vtop..Vbrownout) * eta >= E_rail iteratively, since
+ * the brown-out floor depends on the composite ESR, which depends on
+ * the unit count.
+ *
+ * @param derating overprovisioning margin (>= 1), the standard
+ *        practice for capacitor aging (§3).
+ * @return required capacitance in farads (a multiple of the unit).
+ */
+double requiredCapacitance(const TaskEnergy &demand,
+                           const power::PowerSystem::Spec &spec,
+                           const power::CapacitorSpec &unit,
+                           double derating = 1.2);
+
+/** Outcome of the empirical trial-provisioning loop. */
+struct ProvisionResult
+{
+    bool feasible = false;
+    int unitCount = 0;          ///< parallel copies of the unit part
+    double capacitance = 0.0;   ///< F
+    double chargeTime = 0.0;    ///< observed time to first full, s
+};
+
+/**
+ * The paper's iterative provisioning procedure: starting from one
+ * unit, run @p task on a device with n parallel units and increase n
+ * until the task completes (§6.1), up to @p max_units.
+ *
+ * @param harvest_power bench harvester power, W.
+ */
+ProvisionResult provisionByTrial(const rt::Task &task,
+                                 const dev::McuSpec &mcu,
+                                 const power::PowerSystem::Spec &spec,
+                                 const power::CapacitorSpec &unit,
+                                 double harvest_power, int max_units);
+
+} // namespace capy::core
+
+#endif // CAPY_CORE_PROVISION_HH

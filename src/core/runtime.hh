@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The Capybara runtime (§4.3): intercepts every task attempt through
+ * the kernel's pre-task gate and reconfigures the power system to
+ * match the task's declared energy mode — including the non-volatile
+ * preburst state machine that charges a future burst's banks off the
+ * critical path, and burst activation that runs immediately on
+ * pre-charged energy.
+ */
+
+#ifndef CAPY_CORE_RUNTIME_HH
+#define CAPY_CORE_RUNTIME_HH
+
+#include <unordered_map>
+
+#include "core/energy_mode.hh"
+#include "dev/nvmem.hh"
+#include "rt/kernel.hh"
+
+namespace capy::core
+{
+
+/**
+ * Power-system disciplines evaluated in §6: continuous power, a
+ * statically provisioned fixed bank, and the two Capybara variants.
+ */
+enum class Policy
+{
+    Continuous,  ///< "Pwr": bench supply, annotations ignored
+    Fixed,       ///< single worst-case bank, annotations ignored
+    CapyR,       ///< reconfiguration only: bursts degrade to configs
+                 ///< and recharge on the critical path
+    CapyP,       ///< full Capybara: reconfiguration + preburst/burst
+};
+
+const char *policyName(Policy policy);
+
+/**
+ * Runtime that executes task energy annotations against the
+ * reconfigurable power system. All control state that must survive
+ * power failures (the preburst phase machine, the burst-retry flag)
+ * lives in non-volatile cells.
+ */
+class Runtime
+{
+  public:
+    struct Stats
+    {
+        /** Switch flips actually performed. */
+        std::uint64_t reconfigurations = 0;
+        /** Times a task parked the device to recharge. */
+        std::uint64_t rechargePauses = 0;
+        /** Bursts that ran immediately on pre-charged banks. */
+        std::uint64_t burstActivations = 0;
+        /** Bursts that found insufficient pre-charge and had to
+         *  recharge on the critical path (§6.3 "provisioning is for
+         *  the average case"). */
+        std::uint64_t burstRecharges = 0;
+        /** Preburst charge phases completed. */
+        std::uint64_t prechargePhases = 0;
+        /** Preburst phases skipped because banks were still charged. */
+        std::uint64_t prechargeSkips = 0;
+    };
+
+    /**
+     * @param kernel the task kernel to gate.
+     * @param registry mode -> bank-set mapping.
+     * @param policy discipline to enforce.
+     * @param nv accounting device for the runtime's NV cells.
+     */
+    Runtime(rt::Kernel &kernel, ModeRegistry registry, Policy policy,
+            dev::NvMemory *nv = nullptr);
+
+    /** Attach an energy annotation to @p task. */
+    void annotate(const rt::Task *task, Annotation ann);
+
+    /** Install the gate on the kernel; call before Kernel::start(). */
+    void install();
+
+    const Stats &stats() const { return rtStats; }
+    Policy policy() const { return activePolicy; }
+    const ModeRegistry &modes() const { return registry; }
+
+  private:
+    /** Margin below the pre-charge ceiling treated as "still full". */
+    static constexpr double kPrechargeMargin = 0.1;
+
+    /**
+     * Multiples of the boot energy kept as readiness margin below the
+     * full charge target. Booting and running the gate itself drain
+     * the buffer below the exact full voltage; without an energy
+     * margin that covers several boots the runtime would park in an
+     * endless recharge loop on small banks.
+     */
+    static constexpr double kReadyBootMargin = 3.0;
+
+    /** Whether the active buffer is charged enough to execute. */
+    bool bufferReady() const;
+
+    void gate(const rt::Task &task, std::function<void()> proceed);
+    Annotation effectiveAnnotation(const rt::Task &task) const;
+
+    void handleConfig(ModeId mode, std::function<void()> &proceed);
+    void handleBurst(const rt::Task &task, ModeId mode,
+                     std::function<void()> &proceed);
+    void handlePreburst(const rt::Task &task, const Annotation &ann,
+                        std::function<void()> &proceed);
+
+    /** Re-issue switch commands so exactly @p mode's banks (plus the
+     *  hard-wired ones) are active. */
+    void applyMode(ModeId mode);
+
+    /** Whether every bank of @p mode holds at least @p v volts. */
+    bool banksHold(ModeId mode, double v) const;
+
+    double prechargeCeiling() const;
+
+    /** Park the device to recharge; the gate re-runs after reboot. */
+    void parkToCharge();
+
+    rt::Kernel &kernel;
+    ModeRegistry registry;
+    Policy activePolicy;
+    std::unordered_map<const rt::Task *, Annotation> annotations;
+    Stats rtStats;
+
+    /** Set while parked charging a preburst's banks (accounting). */
+    dev::NvCell<int> nvPbCharging;
+    /**
+     * The mode the runtime believes the hardware is in — what it last
+     * commanded. The hardware cannot report actual switch state
+     * (§5.2), so after a latch reversion belief and reality diverge
+     * until the next reconfiguration. Reset at every boot so the
+     * runtime conservatively re-issues the configuration after power
+     * failures, which is what produces the paper's adversarial
+     * NO-switch cycle of "switch state loss, incomplete task
+     * execution, and switch reconfiguration".
+     */
+    dev::NvCell<ModeId> nvBelievedMode;
+    /** Boot count at the last gate, to detect fresh boots. */
+    std::uint64_t lastSeenBoots = ~0ull;
+    /** Burst task whose proceed was issued but not yet left behind. */
+    dev::NvCell<const rt::Task *> nvBurstAttempt;
+    bool installed = false;
+};
+
+} // namespace capy::core
+
+#endif // CAPY_CORE_RUNTIME_HH

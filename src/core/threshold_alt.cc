@@ -1,0 +1,72 @@
+#include "core/threshold_alt.hh"
+
+#include "power/bankswitch.hh"
+#include "sim/logging.hh"
+
+namespace capy::core
+{
+
+MechanismSpec
+switchedBankMechanism()
+{
+    // One switch module is 80 mm^2 (§6.5); its standby draw is the
+    // latch leakage, V_full / R_leak ~ 55 nA for the prototype values.
+    power::SwitchSpec sw;
+    return MechanismSpec{
+        .name = "switched-banks (C control)",
+        .areaPerModule = sw.area,
+        .leakageCurrent = sw.latchFullVoltage / sw.latchLeakRes,
+        .writeEndurance = 0,
+        .smallDefaultBank = true,
+    };
+}
+
+MechanismSpec
+vtopThresholdMechanism()
+{
+    // §5.2: twice the area and 1.5x the leakage of the switch module,
+    // with EEPROM potentiometer write endurance limiting lifetime.
+    MechanismSpec base = switchedBankMechanism();
+    return MechanismSpec{
+        .name = "V_top threshold (EEPROM potentiometer)",
+        .areaPerModule = 2.0 * base.areaPerModule,
+        .leakageCurrent = 1.5 * base.leakageCurrent,
+        .writeEndurance = 100000,
+        .smallDefaultBank = false,
+    };
+}
+
+MechanismSpec
+vbottomThresholdMechanism()
+{
+    // Uses the MCU's built-in comparator: no extra area or leakage,
+    // but the capacitor must always charge to the full top voltage,
+    // giving the worst cold start (§5.2).
+    return MechanismSpec{
+        .name = "V_bottom threshold (MCU comparator)",
+        .areaPerModule = 0.0,
+        .leakageCurrent = 0.0,
+        .writeEndurance = 0,
+        .smallDefaultBank = false,
+    };
+}
+
+VtopController::VtopController(power::PowerSystem &ps, dev::NvMemory *nv)
+    : powerSystem(ps),
+      nvThreshold(nv, ps.systemSpec().maxStorageVoltage),
+      currentThreshold(ps.systemSpec().maxStorageVoltage)
+{}
+
+void
+VtopController::setThreshold(double v_top)
+{
+    capy_assert(v_top > 0.0, "bad threshold %g", v_top);
+    if (v_top == currentThreshold)
+        return;
+    currentThreshold = v_top;
+    nvThreshold.set(v_top);
+    ++writes;
+    powerSystem.setChargeCeiling(v_top);
+}
+
+} // namespace capy::core

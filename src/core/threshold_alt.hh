@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The voltage-thresholding alternative to switched banks (§5.2):
+ * reconfigurable energy storage by setting the top voltage V_top to
+ * which a single fixed capacitor charges, implemented in the paper's
+ * prototype with an EEPROM-backed digital potentiometer and a voltage
+ * supervisor. The paper rejects it for Capybara because it occupies
+ * twice the area, leaks 1.5x more, wears out the EEPROM, and has the
+ * worst cold start; this module captures those costs so the
+ * mechanism-comparison ablation (bench_ablation_mechanism) can
+ * reproduce the comparison quantitatively.
+ */
+
+#ifndef CAPY_CORE_THRESHOLD_ALT_HH
+#define CAPY_CORE_THRESHOLD_ALT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dev/nvmem.hh"
+#include "power/power_system.hh"
+
+namespace capy::core
+{
+
+/** Cost model of one capacity-reconfiguration mechanism. */
+struct MechanismSpec
+{
+    std::string name;
+    /** Board area per reconfigurable element, mm^2. */
+    double areaPerModule = 0.0;
+    /** Standby leakage per module, A. */
+    double leakageCurrent = 0.0;
+    /** Reconfiguration (write) endurance; 0 = unlimited. */
+    std::uint64_t writeEndurance = 0;
+    /**
+     * Minimum storage voltage before any usable energy accumulates
+     * (drives cold-start time): C-control charges a small default
+     * bank quickly; voltage mechanisms must lift the whole fixed
+     * capacitor past the output booster's start voltage.
+     */
+    bool smallDefaultBank = false;
+};
+
+/** Capybara's switched-bank (C-control) mechanism (§5.2, Fig. 6b). */
+MechanismSpec switchedBankMechanism();
+
+/** V_top control via EEPROM potentiometer + supervisor (§5.2). */
+MechanismSpec vtopThresholdMechanism();
+
+/** V_bottom control via the MCU's built-in comparator (§5.2). */
+MechanismSpec vbottomThresholdMechanism();
+
+/**
+ * A V_top-controlled power system wrapper: one fixed bank whose
+ * effective charge target is set per mode, with EEPROM write
+ * accounting. Functionally equivalent to DEBS-style burst scaling.
+ */
+class VtopController
+{
+  public:
+    /**
+     * @param ps power system with a single fixed bank.
+     * @param nv EEPROM accounting device (write endurance applies).
+     */
+    VtopController(power::PowerSystem &ps, dev::NvMemory *nv = nullptr);
+
+    /**
+     * Set the charge threshold for the next operating cycle.
+     * Each change writes the potentiometer's EEPROM.
+     */
+    void setThreshold(double v_top);
+
+    double threshold() const { return currentThreshold; }
+    std::uint64_t eepromWrites() const { return writes; }
+
+  private:
+    power::PowerSystem &powerSystem;
+    dev::NvCell<double> nvThreshold;
+    double currentThreshold;
+    std::uint64_t writes = 0;
+};
+
+} // namespace capy::core
+
+#endif // CAPY_CORE_THRESHOLD_ALT_HH

@@ -1,0 +1,255 @@
+#include "dev/device.hh"
+
+#include <cmath>
+
+#include "power/solver.hh"
+#include "sim/logging.hh"
+
+namespace capy::dev
+{
+
+namespace
+{
+
+/** Margin by which the brown-out must precede completion to abort. */
+constexpr double kRaceTol = 1e-9;
+
+} // namespace
+
+Device::Device(sim::Simulator &simulator,
+               std::unique_ptr<power::PowerSystem> power_system,
+               McuSpec mcu_spec, PowerMode power_mode)
+    : sim(simulator), ps(std::move(power_system)),
+      mcuSpec(std::move(mcu_spec)), mode(power_mode)
+{
+    capy_assert(ps != nullptr, "device needs a power system");
+}
+
+void
+Device::setHooks(Hooks h)
+{
+    capy_assert(state == State::Idle, "hooks must be set before start()");
+    hooks = std::move(h);
+}
+
+void
+Device::transitionSpan(const char *label)
+{
+    closeSpan();
+    activity.open(sim.now(), label);
+}
+
+void
+Device::closeSpan()
+{
+    if (!activity.isOpen())
+        return;
+    double dur = sim.now() - activity.openStart();
+    if (activity.openLabel() == "on")
+        devStats.timeOn += dur;
+    else if (activity.openLabel() == "charging")
+        devStats.timeCharging += dur;
+    activity.close(sim.now());
+}
+
+void
+Device::start()
+{
+    capy_assert(state == State::Idle, "device already started");
+    if (mode == PowerMode::Continuous) {
+        // Bench supply: the rail is always available.
+        state = State::Booting;
+        activity.open(sim.now(), "boot");
+        pendingEvent = sim.schedule(mcuSpec.bootTime,
+                                    [this] { onBootDone(); });
+        return;
+    }
+    enterCharging();
+}
+
+void
+Device::enterCharging()
+{
+    state = State::Charging;
+    ps->advanceTo(sim.now());
+    ps->setRailEnabled(false);
+    transitionSpan("charging");
+    scheduleChargeWake();
+}
+
+void
+Device::scheduleChargeWake()
+{
+    ps->advanceTo(sim.now());
+    sim::Time t_full = ps->timeToFull();
+    sim::Time latch_exp = ps->nextLatchExpiry();  // absolute
+
+    sim::Time wake = power::kNever;
+    if (std::isfinite(t_full))
+        wake = sim.now() + t_full;
+    if (std::isfinite(latch_exp)) {
+        // A reversion changes the active bank set; re-evaluate just
+        // after it takes effect.
+        wake = std::min(wake, latch_exp + 1e-9);
+    }
+    if (!std::isfinite(wake)) {
+        if (!warnedStuck) {
+            warnedStuck = true;
+            capy_warn("device can never charge to full "
+                      "(V=%.3g of %.3g, harvest insufficient); "
+                      "it stays off forever",
+                      ps->storageVoltage(), ps->topVoltage());
+        }
+        state = State::Dead;
+        return;
+    }
+    pendingEvent = sim.scheduleAt(wake, [this] { onChargeWake(); });
+}
+
+void
+Device::onChargeWake()
+{
+    pendingEvent = sim::kInvalidEvent;
+    ps->advanceTo(sim.now());
+    double v = ps->storageVoltage();
+    double v_start = ps->startupVoltage(mcuSpec.activePower);
+    if (ps->isFull()) {
+        if (v + 1e-6 >= v_start) {
+            beginBoot();
+            return;
+        }
+        // Full but unable to start the output booster under load:
+        // a mis-provisioned design (e.g. one ultra-high-ESR
+        // supercapacitor, §2.2.2).
+        if (!warnedStuck) {
+            warnedStuck = true;
+            capy_warn("buffer full at %.3g V but the output booster "
+                      "needs %.3g V under boot load; device is "
+                      "unbootable",
+                      v, v_start);
+        }
+        state = State::Dead;
+        return;
+    }
+    scheduleChargeWake();
+}
+
+void
+Device::beginBoot()
+{
+    state = State::Booting;
+    ps->advanceTo(sim.now());
+    ps->setRailEnabled(true);
+    ps->setRailLoad(mcuSpec.activePower);
+    transitionSpan("boot");
+
+    sim::Time t_bo = ps->timeToBrownout();
+    if (t_bo < mcuSpec.bootTime - kRaceTol) {
+        pendingEvent =
+            sim.schedule(t_bo, [this] { failPower(true); });
+        return;
+    }
+    pendingEvent =
+        sim.schedule(mcuSpec.bootTime, [this] { onBootDone(); });
+}
+
+void
+Device::onBootDone()
+{
+    pendingEvent = sim::kInvalidEvent;
+    state = State::On;
+    ++devStats.boots;
+    if (mode == PowerMode::Intermittent) {
+        ps->advanceTo(sim.now());
+        ps->setRailLoad(mcuSpec.activePower);
+    }
+    transitionSpan("on");
+    if (hooks.onBoot)
+        hooks.onBoot();
+}
+
+void
+Device::runWorkload(double rail_power, double duration,
+                    std::function<void()> on_complete)
+{
+    capy_assert(state == State::On,
+                "runWorkload while the device is not on");
+    capy_assert(rail_power >= 0.0 && duration >= 0.0,
+                "bad workload (P=%g, d=%g)", rail_power, duration);
+
+    workloadPower = rail_power;
+    workloadStart = sim.now();
+
+    if (mode == PowerMode::Continuous) {
+        pendingEvent = sim.schedule(
+            duration, [this, cb = std::move(on_complete)] {
+                pendingEvent = sim::kInvalidEvent;
+                ++devStats.workloadsCompleted;
+                cb();
+            });
+        return;
+    }
+
+    ps->advanceTo(sim.now());
+    ps->setRailLoad(rail_power);
+    sim::Time t_bo = ps->timeToBrownout();
+    if (t_bo < duration - kRaceTol) {
+        ++devStats.workloadsAborted;
+        pendingEvent =
+            sim.schedule(t_bo, [this] { failPower(false); });
+        return;
+    }
+    pendingEvent = sim.schedule(
+        duration, [this, cb = std::move(on_complete)] {
+            pendingEvent = sim::kInvalidEvent;
+            ps->advanceTo(sim.now());
+            // Back to the kernel's baseline compute draw between
+            // workloads.
+            ps->setRailLoad(mcuSpec.activePower);
+            ++devStats.workloadsCompleted;
+            cb();
+        });
+}
+
+void
+Device::failPower(bool during_boot)
+{
+    pendingEvent = sim::kInvalidEvent;
+    ++devStats.powerFailures;
+    if (!during_boot) {
+        lastAborted = AbortedWorkload{workloadPower,
+                                      sim.now() - workloadStart};
+    }
+    if (during_boot)
+        ++devStats.bootFailures;
+    ps->advanceTo(sim.now());
+    ps->setRailEnabled(false);
+    if (hooks.onPowerFail)
+        hooks.onPowerFail();
+    if (mode == PowerMode::Continuous) {
+        capy_panic("continuous-power device cannot brown out");
+    }
+    enterCharging();
+}
+
+void
+Device::powerDown()
+{
+    capy_assert(state == State::On,
+                "powerDown while the device is not on");
+    if (pendingEvent != sim::kInvalidEvent) {
+        sim.cancel(pendingEvent);
+        pendingEvent = sim::kInvalidEvent;
+    }
+    if (mode == PowerMode::Continuous) {
+        // A continuously-powered board "recharges" instantly: reboot.
+        state = State::Booting;
+        transitionSpan("boot");
+        pendingEvent = sim.schedule(mcuSpec.bootTime,
+                                    [this] { onBootDone(); });
+        return;
+    }
+    enterCharging();
+}
+
+} // namespace capy::dev

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The energy-harvesting device: an MCU plus peripherals powered by a
+ * reconfigurable PowerSystem, executing under the intermittent model
+ * (§2): completely off while charging, boot when the buffer is full,
+ * run until the buffer is empty.
+ *
+ * Device is the bridge between the event-driven simulator and the
+ * continuous power model: it asks the power system for charge-complete
+ * and brown-out crossing times and schedules simulator events exactly
+ * there.
+ */
+
+#ifndef CAPY_DEV_DEVICE_HH
+#define CAPY_DEV_DEVICE_HH
+
+#include <functional>
+#include <memory>
+
+#include "dev/mcu.hh"
+#include "power/power_system.hh"
+#include "sim/simulator.hh"
+#include "sim/trace.hh"
+
+namespace capy::dev
+{
+
+/**
+ * Intermittently-powered (or, for the baseline, continuously-powered)
+ * device.
+ */
+class Device
+{
+  public:
+    /** Supply discipline. */
+    enum class PowerMode
+    {
+        Intermittent,  ///< harvested energy only; off while charging
+        Continuous,    ///< bench supply: never browns out
+    };
+
+    /** Callbacks into the software layer. */
+    struct Hooks
+    {
+        /** Device completed a (re)boot; software may run. */
+        std::function<void()> onBoot;
+        /** Power failed mid-operation; volatile state is lost. */
+        std::function<void()> onPowerFail;
+    };
+
+    /** Lifetime counters. */
+    struct Stats
+    {
+        std::uint64_t boots = 0;
+        std::uint64_t powerFailures = 0;
+        /** Power failures that occurred during the boot sequence. */
+        std::uint64_t bootFailures = 0;
+        std::uint64_t workloadsCompleted = 0;
+        std::uint64_t workloadsAborted = 0;
+        double timeOn = 0.0;
+        double timeCharging = 0.0;
+    };
+
+    Device(sim::Simulator &simulator,
+           std::unique_ptr<power::PowerSystem> power_system,
+           McuSpec mcu_spec, PowerMode power_mode);
+
+    Device(const Device &) = delete;
+    Device &operator=(const Device &) = delete;
+
+    /** Install software hooks; must happen before start(). */
+    void setHooks(Hooks hooks);
+
+    /** Begin operation (start charging, or boot if continuous). */
+    void start();
+
+    /** Whether software is currently running. */
+    bool isOn() const { return state == State::On; }
+
+    /** Whether the device is off and accumulating charge. */
+    bool isCharging() const { return state == State::Charging; }
+
+    sim::Simulator &simulator() { return sim; }
+    power::PowerSystem &powerSystem() { return *ps; }
+    const power::PowerSystem &powerSystem() const { return *ps; }
+    const McuSpec &mcu() const { return mcuSpec; }
+    PowerMode powerMode() const { return mode; }
+
+    /**
+     * Execute an atomic workload drawing @p rail_power watts for
+     * @p duration seconds. If the buffer browns out first the
+     * workload is aborted: @p on_complete is dropped and the
+     * onPowerFail hook fires instead.
+     * @pre isOn().
+     */
+    void runWorkload(double rail_power, double duration,
+                     std::function<void()> on_complete);
+
+    /**
+     * Voluntarily power down to recharge (the pause the runtime takes
+     * after a reconfiguration, §4.1). The device boots again when the
+     * buffer is full and the onBoot hook fires.
+     * @pre isOn().
+     */
+    void powerDown();
+
+    const Stats &stats() const { return devStats; }
+
+    /** Power and elapsed time of the most recently aborted workload
+     *  (valid inside/after an onPowerFail hook). */
+    struct AbortedWorkload
+    {
+        double railPower = 0.0;
+        double elapsed = 0.0;
+    };
+    const AbortedWorkload &lastAbortedWorkload() const
+    {
+        return lastAborted;
+    }
+
+    /** Operating ("on") vs charging ("charging") interval trace. */
+    const sim::SpanTrace &spans() const { return activity; }
+
+  private:
+    enum class State
+    {
+        Idle,      ///< before start()
+        Charging,  ///< off, accumulating energy
+        Booting,   ///< rail up, boot sequence running
+        On,        ///< software executing
+        Dead,      ///< provably unable to ever boot
+    };
+
+    void enterCharging();
+    void scheduleChargeWake();
+    void onChargeWake();
+    void beginBoot();
+    void onBootDone();
+    void failPower(bool during_boot);
+    void transitionSpan(const char *label);
+    void closeSpan();
+
+    sim::Simulator &sim;
+    std::unique_ptr<power::PowerSystem> ps;
+    McuSpec mcuSpec;
+    PowerMode mode;
+    Hooks hooks;
+    State state = State::Idle;
+    sim::EventId pendingEvent = sim::kInvalidEvent;
+    Stats devStats;
+    sim::SpanTrace activity;
+    bool warnedStuck = false;
+    double workloadPower = 0.0;
+    sim::Time workloadStart = 0.0;
+    AbortedWorkload lastAborted;
+};
+
+} // namespace capy::dev
+
+#endif // CAPY_DEV_DEVICE_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Microcontroller power/performance model. The board-level "effective
+ * compute power" and op rate are calibrated so that atomicity counts
+ * (Mops per charge, Fig. 3/4) land in the paper's range; see
+ * EXPERIMENTS.md for the calibration note.
+ */
+
+#ifndef CAPY_DEV_MCU_HH
+#define CAPY_DEV_MCU_HH
+
+#include <string>
+
+namespace capy::dev
+{
+
+/** Static parameters of a microcontroller. */
+struct McuSpec
+{
+    std::string name = "generic-mcu";
+    /**
+     * Rail power while computing, W. Board-level effective figure:
+     * core + FRAM + always-on board overhead attributable to compute.
+     */
+    double activePower = 8.4e-3;
+    /** Rail power in a memory-retaining sleep state, W. */
+    double sleepPower = 150e-6;
+    /** Time from rail-good to first instruction of the app, s. */
+    double bootTime = 5e-3;
+    /** Effective operations per second for atomicity accounting. */
+    double opRate = 1e6;
+
+    /** Energy per effective operation, J. */
+    double energyPerOp() const { return activePower / opRate; }
+
+    /** Time to execute @p ops operations, s. */
+    double timeForOps(double ops) const { return ops / opRate; }
+};
+
+/** TI MSP430FR5969: the paper's compute MCU (FRAM, 16-bit). */
+McuSpec msp430fr5969();
+
+/** TI CC2650: the paper's wireless MCU (hosts the BLE radio). */
+McuSpec cc2650();
+
+} // namespace capy::dev
+
+#endif // CAPY_DEV_MCU_HH

@@ -1,0 +1,20 @@
+#include "dev/nvmem.hh"
+
+namespace capy::dev
+{
+
+void
+NvMemory::noteWrite(std::uint64_t cell_writes)
+{
+    ++numWrites;
+    if (endurance != 0 && cell_writes > endurance && !wornFlag) {
+        wornFlag = true;
+        capy_warn("non-volatile device '%s' exceeded write endurance "
+                  "(%llu writes to one cell, rated %llu)",
+                  deviceName.c_str(),
+                  static_cast<unsigned long long>(cell_writes),
+                  static_cast<unsigned long long>(endurance));
+    }
+}
+
+} // namespace capy::dev

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Non-volatile memory model. Intermittent software keeps control and
+ * channel state in FRAM so it survives power failures; this module
+ * provides typed non-volatile cells with read/write accounting (FRAM
+ * endurance is effectively unlimited, but EEPROM-backed components
+ * such as the V_top digital potentiometer of §5.2 are not, so the
+ * accounting also backs the mechanism-comparison ablation).
+ */
+
+#ifndef CAPY_DEV_NVMEM_HH
+#define CAPY_DEV_NVMEM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace capy::dev
+{
+
+/** Aggregate access accounting for one non-volatile memory device. */
+class NvMemory
+{
+  public:
+    /**
+     * @param device_name label for diagnostics.
+     * @param write_endurance rated writes per cell; 0 = unlimited
+     *        (FRAM-class).
+     */
+    explicit NvMemory(std::string device_name = "fram",
+                      std::uint64_t write_endurance = 0)
+        : deviceName(std::move(device_name)),
+          endurance(write_endurance)
+    {}
+
+    void noteRead() { ++numReads; }
+    void noteWrite(std::uint64_t cell_writes);
+
+    std::uint64_t reads() const { return numReads; }
+    std::uint64_t writes() const { return numWrites; }
+    std::uint64_t enduranceLimit() const { return endurance; }
+    bool wornOut() const { return wornFlag; }
+    const std::string &name() const { return deviceName; }
+
+  private:
+    std::string deviceName;
+    std::uint64_t endurance;
+    std::uint64_t numReads = 0;
+    std::uint64_t numWrites = 0;
+    bool wornFlag = false;
+};
+
+/**
+ * A typed non-volatile cell. Contents survive power failures by
+ * construction (the simulation never clears them); volatile state, by
+ * contrast, must be modelled as ordinary variables that the software
+ * layer re-initializes on boot.
+ */
+template <typename T>
+class NvCell
+{
+  public:
+    /** @param mem accounting device; may be nullptr (no accounting). */
+    explicit NvCell(NvMemory *mem = nullptr, T initial = T{})
+        : memory(mem), value(std::move(initial))
+    {}
+
+    const T &
+    get() const
+    {
+        if (memory)
+            memory->noteRead();
+        return value;
+    }
+
+    void
+    set(const T &v)
+    {
+        ++cellWrites;
+        if (memory)
+            memory->noteWrite(cellWrites);
+        value = v;
+    }
+
+    std::uint64_t writeCount() const { return cellWrites; }
+
+  private:
+    NvMemory *memory;
+    T value;
+    std::uint64_t cellWrites = 0;
+};
+
+} // namespace capy::dev
+
+#endif // CAPY_DEV_NVMEM_HH

@@ -1,0 +1,138 @@
+#include "dev/peripheral.hh"
+
+#include <algorithm>
+
+#include "power/units.hh"
+#include "sim/logging.hh"
+
+namespace capy::dev
+{
+
+using namespace capy::literals;
+
+namespace periph
+{
+
+PeripheralSpec
+apds9960Gesture()
+{
+    return PeripheralSpec{
+        .name = "APDS-9960-gesture",
+        .activePower = 2.2_mW,
+        .warmupTime = 10_ms,
+        .minActiveTime = 250_ms,
+    };
+}
+
+PeripheralSpec
+apds9960Proximity()
+{
+    return PeripheralSpec{
+        .name = "APDS-9960-proximity",
+        .activePower = 1.0_mW,
+        .warmupTime = 5_ms,
+        .minActiveTime = 5_ms,
+    };
+}
+
+PeripheralSpec
+phototransistor()
+{
+    return PeripheralSpec{
+        .name = "phototransistor",
+        .activePower = 120.0_uW,
+        .warmupTime = 1_ms,
+        .minActiveTime = 1_ms,
+    };
+}
+
+PeripheralSpec
+tmp36()
+{
+    return PeripheralSpec{
+        .name = "TMP36",
+        .activePower = 180.0_uW,
+        .warmupTime = 2_ms,
+        .minActiveTime = 2_ms,
+    };
+}
+
+PeripheralSpec
+magnetometer()
+{
+    return PeripheralSpec{
+        .name = "magnetometer",
+        .activePower = 900.0_uW,
+        .warmupTime = 5_ms,
+        .minActiveTime = 3_ms,
+    };
+}
+
+PeripheralSpec
+led()
+{
+    return PeripheralSpec{
+        .name = "LED",
+        .activePower = 5_mW,
+        .warmupTime = 0.0,
+        .minActiveTime = 250_ms,
+    };
+}
+
+PeripheralSpec
+accelerometer()
+{
+    return PeripheralSpec{
+        .name = "accelerometer",
+        .activePower = 700.0_uW,
+        .warmupTime = 4_ms,
+        .minActiveTime = 2_ms,
+    };
+}
+
+PeripheralSpec
+gyroscope()
+{
+    return PeripheralSpec{
+        .name = "gyroscope",
+        .activePower = 4.5_mW,
+        .warmupTime = 50_ms,
+        .minActiveTime = 10_ms,
+    };
+}
+
+} // namespace periph
+
+double
+totalActivePower(const std::vector<PeripheralSpec> &specs)
+{
+    double total = 0.0;
+    for (const auto &s : specs)
+        total += s.activePower;
+    return total;
+}
+
+double
+maxWarmup(const std::vector<PeripheralSpec> &specs)
+{
+    double warmup = 0.0;
+    for (const auto &s : specs)
+        warmup = std::max(warmup, s.warmupTime);
+    return warmup;
+}
+
+Sensor::Sensor(PeripheralSpec sensor_spec, Source source_fn)
+    : sensorSpec(std::move(sensor_spec)), source(std::move(source_fn))
+{
+    capy_assert(source != nullptr, "sensor '%s' has no signal source",
+                sensorSpec.name.c_str());
+}
+
+double
+Sensor::read(sim::Time t)
+{
+    ++numSamples;
+    return source(t);
+}
+
+} // namespace capy::dev

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Peripheral (sensor/actuator) power models and the board catalog.
+ * A task that exercises a peripheral pays its active power for the
+ * task's duration plus the warm-up time; what a sensor *reads* comes
+ * from the environment layer via a source callback.
+ */
+
+#ifndef CAPY_DEV_PERIPHERAL_HH
+#define CAPY_DEV_PERIPHERAL_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event.hh"
+
+namespace capy::dev
+{
+
+/** Static parameters of one peripheral. */
+struct PeripheralSpec
+{
+    std::string name;
+    /** Rail power while active, W. */
+    double activePower = 0.0;
+    /** Initialization/warm-up time before useful output, s. */
+    double warmupTime = 0.0;
+    /** Minimum time the peripheral must stay on per use, s. */
+    double minActiveTime = 0.0;
+};
+
+/** Catalog of the peripherals the paper's applications use. */
+namespace periph
+{
+
+/** APDS-9960 gesture engine (250 ms minimum gesture window, §6.1.1). */
+PeripheralSpec apds9960Gesture();
+
+/** APDS-9960 proximity engine (cheap single-shot proximity check). */
+PeripheralSpec apds9960Proximity();
+
+/** Discrete phototransistor + ADC sampling. */
+PeripheralSpec phototransistor();
+
+/** TMP36-class analog temperature sensor + ADC. */
+PeripheralSpec tmp36();
+
+/** LIS3MDL-class magnetometer. */
+PeripheralSpec magnetometer();
+
+/** Indicator LED held on for a visibility window. */
+PeripheralSpec led();
+
+/** Accelerometer (CapySat attitude sensing). */
+PeripheralSpec accelerometer();
+
+/** Gyroscope (CapySat attitude sensing). */
+PeripheralSpec gyroscope();
+
+} // namespace periph
+
+/** Total active power of a set of peripherals, W. */
+double totalActivePower(const std::vector<PeripheralSpec> &specs);
+
+/** Longest warm-up among a set of peripherals, s. */
+double maxWarmup(const std::vector<PeripheralSpec> &specs);
+
+/**
+ * A sensor binds a peripheral spec to an environment signal; read()
+ * samples the signal at a given simulated time and counts usage.
+ */
+class Sensor
+{
+  public:
+    using Source = std::function<double(sim::Time)>;
+
+    Sensor(PeripheralSpec sensor_spec, Source source_fn);
+
+    const PeripheralSpec &spec() const { return sensorSpec; }
+
+    /** Sample the bound environment signal at time @p t. */
+    double read(sim::Time t);
+
+    std::uint64_t samplesTaken() const { return numSamples; }
+
+  private:
+    PeripheralSpec sensorSpec;
+    Source source;
+    std::uint64_t numSamples = 0;
+};
+
+} // namespace capy::dev
+
+#endif // CAPY_DEV_PERIPHERAL_HH

@@ -1,0 +1,61 @@
+#include "dev/radio.hh"
+
+#include "power/units.hh"
+#include "sim/logging.hh"
+
+namespace capy::dev
+{
+
+using namespace capy::literals;
+
+RadioSpec
+bleRadio()
+{
+    return RadioSpec{
+        .name = "BLE-CC2650",
+        .txPower = 20_mW,
+        .startupDuration = 0.87_s,
+        .baseDuration = 15_ms,
+        .perByteDuration = 0.8_ms,
+        .lossRate = 0.02,
+    };
+}
+
+RadioSpec
+kicksatRadio()
+{
+    return RadioSpec{
+        .name = "kicksat-downlink",
+        .txPower = 75_mW,
+        .startupDuration = 100_ms,
+        .baseDuration = 250_ms,
+        .perByteDuration = 0.0,  // fixed 1-byte frames
+        .lossRate = 0.05,
+    };
+}
+
+double
+airTime(const RadioSpec &spec, std::size_t payload_bytes)
+{
+    return spec.baseDuration +
+           spec.perByteDuration * double(payload_bytes);
+}
+
+double
+txDuration(const RadioSpec &spec, std::size_t payload_bytes)
+{
+    return spec.startupDuration + airTime(spec, payload_bytes);
+}
+
+bool
+Radio::attemptDelivery(sim::Rng &rng)
+{
+    ++numSent;
+    if (rng.chance(radioSpec.lossRate)) {
+        ++numLost;
+        return false;
+    }
+    return true;
+}
+
+} // namespace capy::dev

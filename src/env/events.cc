@@ -1,0 +1,88 @@
+#include "env/events.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace capy::env
+{
+
+EventSchedule::EventSchedule(std::vector<sim::Time> times)
+{
+    std::sort(times.begin(), times.end());
+    list.reserve(times.size());
+    for (std::size_t i = 0; i < times.size(); ++i)
+        list.push_back(EnvEvent{static_cast<int>(i), times[i]});
+}
+
+EventSchedule
+EventSchedule::poisson(sim::Rng &rng, double mean_interval,
+                       double horizon, double start_after)
+{
+    return EventSchedule(
+        sim::poissonArrivals(rng, mean_interval, horizon, start_after));
+}
+
+EventSchedule
+EventSchedule::poissonCount(sim::Rng &rng, std::size_t count,
+                            double horizon, double start_after)
+{
+    capy_assert(count >= 1, "need at least one event");
+    capy_assert(horizon > start_after, "empty horizon");
+    // Draw `count` exponential gaps, then scale so the last event
+    // lands at ~95% of the horizon.
+    std::vector<sim::Time> times;
+    times.reserve(count);
+    double t = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        t += rng.exponential(1.0);
+        times.push_back(t);
+    }
+    double span = horizon - start_after;
+    double scale = 0.95 * span / times.back();
+    for (auto &v : times)
+        v = start_after + v * scale;
+    return EventSchedule(std::move(times));
+}
+
+const EnvEvent &
+EventSchedule::at(std::size_t i) const
+{
+    capy_assert(i < list.size(), "event index %zu of %zu", i,
+                list.size());
+    return list[i];
+}
+
+sim::Time
+EventSchedule::lastTime() const
+{
+    capy_assert(!list.empty(), "empty schedule");
+    return list.back().time;
+}
+
+int
+EventSchedule::eventCovering(sim::Time t, double dur, double span) const
+{
+    for (const EnvEvent &e : list) {
+        if (e.time >= t + dur)
+            break;  // sorted: nothing later can overlap
+        if (t < e.time + span && e.time < t + dur)
+            return e.id;
+    }
+    return -1;
+}
+
+std::vector<int>
+EventSchedule::eventsBetween(sim::Time t0, sim::Time t1) const
+{
+    std::vector<int> out;
+    for (const EnvEvent &e : list) {
+        if (e.time >= t1)
+            break;
+        if (e.time > t0)
+            out.push_back(e.id);
+    }
+    return out;
+}
+
+} // namespace capy::env

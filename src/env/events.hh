@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ground-truth external event schedules. The evaluation drives every
+ * application with event sequences drawn from Poisson distributions
+ * (§6.2) and replays the *same* sequence against each power-system
+ * variant, so schedules are explicit, immutable values.
+ */
+
+#ifndef CAPY_ENV_EVENTS_HH
+#define CAPY_ENV_EVENTS_HH
+
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/random.hh"
+
+namespace capy::env
+{
+
+/** One ground-truth external event. */
+struct EnvEvent
+{
+    int id;
+    sim::Time time;
+};
+
+/** An immutable, time-sorted schedule of ground-truth events. */
+class EventSchedule
+{
+  public:
+    EventSchedule() = default;
+    explicit EventSchedule(std::vector<sim::Time> times);
+
+    /**
+     * Poisson process with mean inter-arrival @p mean_interval over
+     * [start_after, horizon).
+     */
+    static EventSchedule poisson(sim::Rng &rng, double mean_interval,
+                                 double horizon,
+                                 double start_after = 0.0);
+
+    /**
+     * Exactly @p count events over roughly @p horizon with
+     * Poisson-like (exponential) gaps, matching the paper's "50
+     * events over 120 minutes" style of sequence. The sequence is
+     * scaled to fit the horizon.
+     */
+    static EventSchedule poissonCount(sim::Rng &rng, std::size_t count,
+                                      double horizon,
+                                      double start_after = 0.0);
+
+    const std::vector<EnvEvent> &events() const { return list; }
+    std::size_t size() const { return list.size(); }
+    bool empty() const { return list.empty(); }
+    const EnvEvent &at(std::size_t i) const;
+
+    /** Time of the last event; schedule must be non-empty. */
+    sim::Time lastTime() const;
+
+    /**
+     * Index of the event active for a window [t, t + dur) given each
+     * event spans [time, time + span); -1 when none. When windows
+     * overlap several events the earliest unexpired one wins.
+     */
+    int eventCovering(sim::Time t, double dur, double span) const;
+
+    /** Ids of events with time in the open interval (t0, t1). */
+    std::vector<int> eventsBetween(sim::Time t0, sim::Time t1) const;
+
+  private:
+    std::vector<EnvEvent> list;
+};
+
+} // namespace capy::env
+
+#endif // CAPY_ENV_EVENTS_HH

@@ -1,0 +1,54 @@
+#include "env/light.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace capy::env
+{
+
+PwmHalogen::PwmHalogen(double duty_fraction) : duty(duty_fraction)
+{
+    capy_assert(duty_fraction >= 0.0 && duty_fraction <= 1.0,
+                "duty %g out of [0,1]", duty_fraction);
+}
+
+power::SolarArray::Illumination
+PwmHalogen::illumination() const
+{
+    double d = duty;
+    return [d](sim::Time) { return d; };
+}
+
+OrbitLight::OrbitLight(Spec spec) : orbitSpec(spec)
+{
+    capy_assert(spec.eclipseDuration < spec.orbitPeriod,
+                "eclipse longer than the orbit");
+}
+
+bool
+OrbitLight::sunlit(sim::Time t) const
+{
+    double phase = std::fmod(t, orbitSpec.orbitPeriod);
+    // Eclipse occupies the tail of each orbit.
+    return phase < orbitSpec.orbitPeriod - orbitSpec.eclipseDuration;
+}
+
+power::SolarArray::Illumination
+OrbitLight::illumination() const
+{
+    // Capture by value: the light model is immutable.
+    OrbitLight copy = *this;
+    return [copy](sim::Time t) { return copy.sunlit(t) ? 1.0 : 0.0; };
+}
+
+sim::Time
+OrbitLight::changePeriod() const
+{
+    // The illumination changes at sunrise/sunset boundaries; a grid
+    // at the gcd-ish granularity of the two arc lengths is adequate.
+    double lit = orbitSpec.orbitPeriod - orbitSpec.eclipseDuration;
+    return std::min(lit, orbitSpec.eclipseDuration) / 4.0;
+}
+
+} // namespace capy::env

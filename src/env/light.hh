@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Light source for solar-harvesting experiments: the 20 W halogen
+ * bulb with PWM-controlled brightness of §6.1.2 (42% duty), plus a
+ * low-earth-orbit illumination profile for the CapySat case study
+ * (sunlit vs eclipse phases of an orbit).
+ */
+
+#ifndef CAPY_ENV_LIGHT_HH
+#define CAPY_ENV_LIGHT_HH
+
+#include "power/harvester.hh"
+
+namespace capy::env
+{
+
+/**
+ * Halogen bulb dimmed by PWM: at the harvesting time scale the panel
+ * sees the duty-cycle-averaged intensity, so the illumination is a
+ * constant fraction.
+ */
+class PwmHalogen
+{
+  public:
+    explicit PwmHalogen(double duty_fraction);
+
+    double dutyFraction() const { return duty; }
+
+    /** Illumination function for a SolarArray. */
+    power::SolarArray::Illumination illumination() const;
+
+  private:
+    double duty;
+};
+
+/**
+ * Low-earth-orbit sunlight: full illumination during the sunlit arc,
+ * darkness during eclipse, repeating each orbital period (~92.5 min
+ * for a KickSat-class deployment with ~36 min eclipse).
+ */
+class OrbitLight
+{
+  public:
+    struct Spec
+    {
+        double orbitPeriod = 5550.0;    ///< s (~92.5 min)
+        double eclipseDuration = 2160.0;  ///< s (~36 min)
+    };
+
+    explicit OrbitLight(Spec spec);
+    OrbitLight() : OrbitLight(Spec{}) {}
+
+    const Spec &spec() const { return orbitSpec; }
+
+    /** Whether the satellite is sunlit at @p t. */
+    bool sunlit(sim::Time t) const;
+
+    /** Illumination function for a SolarArray (1 sunlit, 0 eclipse). */
+    power::SolarArray::Illumination illumination() const;
+
+    /** Boundary spacing for the harvester's nextChange grid: the
+     *  finest granularity at which illumination changes. */
+    sim::Time changePeriod() const;
+
+  private:
+    Spec orbitSpec;
+};
+
+} // namespace capy::env
+
+#endif // CAPY_ENV_LIGHT_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Detection scoring (§6.2-6.4): classify every ground-truth event as
+ * Correct / Misclassified / ProximityOnly / Missed, collect report
+ * latencies, and analyze inter-sample intervals for the sampling-
+ * quality study (Fig. 11).
+ */
+
+#ifndef CAPY_ENV_SCORING_HH
+#define CAPY_ENV_SCORING_HH
+
+#include <vector>
+
+#include "env/events.hh"
+#include "sim/stats.hh"
+
+namespace capy::env
+{
+
+/** Final classification of one ground-truth event (Fig. 8 legend). */
+enum class Outcome
+{
+    Correct,        ///< reported with correct content
+    Misclassified,  ///< reported/processed but content wrong
+    ProximityOnly,  ///< detected (e.g. proximity) but never decoded
+    Missed,         ///< never detected at all
+};
+
+const char *outcomeName(Outcome outcome);
+
+/**
+ * Collects what an application observed and reported during a run,
+ * keyed by ground-truth event id, then summarizes accuracy and
+ * latency.
+ *
+ * Recording rules (monotone upgrades): Missed < ProximityOnly <
+ * Misclassified < Correct — a later, better observation of the same
+ * event upgrades it, and a worse one never downgrades it. This
+ * mirrors the paper's counting, where e.g. a gesture that is decoded
+ * and delivered counts as correct even if an earlier sample only saw
+ * proximity.
+ */
+class Scoreboard
+{
+  public:
+    explicit Scoreboard(const EventSchedule &schedule);
+
+    /** A detection without decoded content (e.g. proximity fired). */
+    void recordDetection(int event_id);
+
+    /** Content decoded/processed but wrong (e.g. swipe direction). */
+    void recordMisclassified(int event_id);
+
+    /**
+     * A correct report delivered to the receiver at time @p t.
+     * Latency is measured against the event's ground-truth time.
+     */
+    void recordReport(int event_id, sim::Time t);
+
+    /** A sensor sample taken at time @p t (for Fig. 11). */
+    void recordSample(sim::Time t);
+
+    /** Current classification of event @p id. */
+    Outcome outcome(int event_id) const;
+
+    /** Aggregate results for one run. */
+    struct Summary
+    {
+        std::size_t total = 0;
+        std::size_t correct = 0;
+        std::size_t misclassified = 0;
+        std::size_t proximityOnly = 0;
+        std::size_t missed = 0;
+        double fracCorrect = 0.0;
+        /** Event-to-report latencies of correctly reported events. */
+        sim::SummaryStats latency;
+    };
+
+    Summary summarize() const;
+
+    /** One inter-sample interval with its Fig. 11 classification. */
+    struct Interval
+    {
+        double length;        ///< s between consecutive samples
+        bool backToBack;      ///< below the back-to-back threshold
+        bool containsMissed;  ///< >=1 missed event fell inside it
+    };
+
+    /**
+     * Inter-sample intervals, each flagged back-to-back (< @p
+     * back_to_back_threshold) or classified by whether a missed
+     * ground-truth event fell inside it.
+     */
+    std::vector<Interval>
+    sampleIntervals(double back_to_back_threshold = 1.0) const;
+
+    const std::vector<sim::Time> &samples() const { return sampleTimes; }
+
+  private:
+    bool validId(int event_id) const;
+
+    const EventSchedule &schedule;
+    std::vector<Outcome> outcomes;
+    std::vector<double> reportLatency;  ///< -1 when not reported
+    std::vector<sim::Time> sampleTimes;
+};
+
+} // namespace capy::env
+
+#endif // CAPY_ENV_SCORING_HH

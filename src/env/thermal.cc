@@ -1,0 +1,89 @@
+#include "env/thermal.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace capy::env
+{
+
+ThermalRig::ThermalRig(const EventSchedule &schedule, Spec spec)
+    : events(schedule), rigSpec(spec)
+{
+    capy_assert(spec.bandLo < spec.baseTemp &&
+                    spec.baseTemp < spec.bandHi,
+                "base temperature must sit inside the band");
+    capy_assert(spec.peakTemp > spec.bandHi, "excursion must leave "
+                                             "the band");
+    capy_assert(spec.rampTime > 0.0 && spec.holdTime >= 0.0,
+                "bad excursion timing");
+    capy_assert(spec.baseTemp + spec.wanderAmp < spec.bandHi &&
+                    spec.baseTemp - spec.wanderAmp > spec.bandLo,
+                "wander must stay inside the band");
+}
+
+double
+ThermalRig::excursionShape(double dt) const
+{
+    double rise = rigSpec.peakTemp - rigSpec.baseTemp;
+    if (dt < 0.0)
+        return 0.0;
+    if (dt < rigSpec.rampTime)
+        return rise * dt / rigSpec.rampTime;
+    if (dt < rigSpec.rampTime + rigSpec.holdTime)
+        return rise;
+    double fall = dt - rigSpec.rampTime - rigSpec.holdTime;
+    if (fall < rigSpec.rampTime)
+        return rise * (1.0 - fall / rigSpec.rampTime);
+    return 0.0;
+}
+
+double
+ThermalRig::excursionDuration() const
+{
+    return 2.0 * rigSpec.rampTime + rigSpec.holdTime;
+}
+
+double
+ThermalRig::outOfRangeDuration() const
+{
+    // Out of band while excursionShape > bandHi - baseTemp.
+    double rise = rigSpec.peakTemp - rigSpec.baseTemp;
+    double threshold = rigSpec.bandHi - rigSpec.baseTemp;
+    double ramp_fraction = threshold / rise;
+    double in_ramp = rigSpec.rampTime * (1.0 - ramp_fraction);
+    return 2.0 * in_ramp + rigSpec.holdTime;
+}
+
+double
+ThermalRig::temperature(sim::Time t) const
+{
+    double temp =
+        rigSpec.baseTemp +
+        rigSpec.wanderAmp *
+            std::sin(2.0 * M_PI * t / rigSpec.wanderPeriod);
+    int id = events.eventCovering(t, 0.0, excursionDuration());
+    if (id >= 0) {
+        double dt = t - events.at(static_cast<std::size_t>(id)).time;
+        // The control loop suspends the wander during an excursion.
+        temp = rigSpec.baseTemp + excursionShape(dt);
+    }
+    return temp;
+}
+
+bool
+ThermalRig::outOfRange(sim::Time t) const
+{
+    double temp = temperature(t);
+    return temp > rigSpec.bandHi || temp < rigSpec.bandLo;
+}
+
+int
+ThermalRig::alarmEventAt(sim::Time t) const
+{
+    if (!outOfRange(t))
+        return -1;
+    return events.eventCovering(t, 0.0, excursionDuration());
+}
+
+} // namespace capy::env

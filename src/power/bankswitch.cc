@@ -1,0 +1,109 @@
+#include "power/bankswitch.hh"
+
+#include <cmath>
+
+#include "power/solver.hh"
+#include "sim/logging.hh"
+
+namespace capy::power
+{
+
+const char *
+switchKindName(SwitchKind kind)
+{
+    switch (kind) {
+      case SwitchKind::NormallyOpen:
+        return "NO";
+      case SwitchKind::NormallyClosed:
+        return "NC";
+    }
+    capy_panic("unknown SwitchKind %d", static_cast<int>(kind));
+}
+
+BankSwitch::BankSwitch(SwitchSpec spec, sim::Time t0)
+    : switchSpec(spec), isClosed(defaultClosed()), lastUpdate(t0)
+{
+    capy_assert(spec.latchCapacitance > 0.0, "latch capacitance <= 0");
+    capy_assert(spec.latchLeakRes > 0.0, "latch leak resistance <= 0");
+    capy_assert(spec.latchFullVoltage > spec.latchThreshold,
+                "latch full voltage %g must exceed threshold %g",
+                spec.latchFullVoltage, spec.latchThreshold);
+}
+
+bool
+BankSwitch::defaultClosed() const
+{
+    return switchSpec.kind == SwitchKind::NormallyClosed;
+}
+
+bool
+BankSwitch::atDefault() const
+{
+    return isClosed == defaultClosed();
+}
+
+void
+BankSwitch::command(bool close, sim::Time t, bool device_powered)
+{
+    capy_assert(device_powered,
+                "switch commanded while the device is unpowered");
+    update(t, device_powered);
+    isClosed = close;
+    // Commanding a non-default state charges the latch; returning to
+    // the default discharges it (the latch only needs to hold
+    // deviations from the default).
+    latchVoltage = atDefault() ? 0.0 : switchSpec.latchFullVoltage;
+}
+
+void
+BankSwitch::update(sim::Time t, bool device_powered)
+{
+    capy_assert(t >= lastUpdate, "switch time moved backwards");
+    double dt = t - lastUpdate;
+    lastUpdate = t;
+    if (atDefault()) {
+        latchVoltage = 0.0;
+        return;
+    }
+    if (device_powered) {
+        // Replenishment circuit keeps the latch topped up.
+        latchVoltage = switchSpec.latchFullVoltage;
+        return;
+    }
+    double tau = switchSpec.latchLeakRes * switchSpec.latchCapacitance;
+    latchVoltage *= std::exp(-dt / tau);
+    // Relative tolerance: expiryTime() computes the crossing instant
+    // from the same exponential, so after advancing exactly to it the
+    // voltage sits within an ulp of the threshold — possibly above,
+    // which without the tolerance would livelock the caller.
+    if (latchVoltage <= switchSpec.latchThreshold * (1.0 + 1e-9)) {
+        isClosed = defaultClosed();
+        latchVoltage = 0.0;
+        ++numReversions;
+    }
+}
+
+sim::Time
+BankSwitch::expiryTime(sim::Time now) const
+{
+    capy_assert(now >= lastUpdate, "expiry query behind switch clock");
+    if (atDefault())
+        return kNever;
+    if (latchVoltage <= switchSpec.latchThreshold)
+        return now;  // will revert on the next update
+    double tau = switchSpec.latchLeakRes * switchSpec.latchCapacitance;
+    double remaining =
+        tau * std::log(latchVoltage / switchSpec.latchThreshold);
+    return lastUpdate + remaining;
+}
+
+double
+BankSwitch::retentionTime() const
+{
+    double tau = switchSpec.latchLeakRes * switchSpec.latchCapacitance;
+    return tau *
+           std::log(switchSpec.latchFullVoltage /
+                    switchSpec.latchThreshold);
+}
+
+} // namespace capy::power

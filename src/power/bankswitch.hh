@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The capacitor-bank switch of Fig. 6(b): a P-channel MOSFET high-side
+ * switch whose state is held by a latch capacitor while the device is
+ * unpowered. The latch leaks; once it decays below threshold the
+ * switch reverts to its default state — open for the normally-open
+ * (NO) variant, closed for normally-closed (NC). While the device is
+ * powered, a replenishment circuit keeps the latch charged.
+ */
+
+#ifndef CAPY_POWER_BANKSWITCH_HH
+#define CAPY_POWER_BANKSWITCH_HH
+
+#include "sim/event.hh"
+
+namespace capy::power
+{
+
+/** Default (state-loss) behaviour of a bank switch (§5.2). */
+enum class SwitchKind
+{
+    NormallyOpen,    ///< reverts to disconnected: fast recharge,
+                     ///< but a too-small default may strand tasks
+    NormallyClosed,  ///< reverts to all-connected: slow recharge,
+                     ///< but guaranteed completion on first boot
+};
+
+/** Human-readable kind name. */
+const char *switchKindName(SwitchKind kind);
+
+/** Electrical/mechanical parameters of one switch module. */
+struct SwitchSpec
+{
+    SwitchKind kind = SwitchKind::NormallyOpen;
+    /** Latch capacitor, F (prototype: 4.7 uF). */
+    double latchCapacitance = 4.7e-6;
+    /** Effective leakage resistance discharging the latch, ohm. */
+    double latchLeakRes = 44e6;
+    /** Latch voltage when freshly charged. */
+    double latchFullVoltage = 2.4;
+    /** Latch voltage below which the commanded state is lost. */
+    double latchThreshold = 1.0;
+    /** Board area of one switch module, mm^2 (§6.5: 80 mm^2). */
+    double area = 80.0;
+};
+
+/**
+ * One bank switch instance. Time advances explicitly via update();
+ * commands are only legal while the device is powered (the MCU drives
+ * the latch through a GPIO).
+ */
+class BankSwitch
+{
+  public:
+    explicit BankSwitch(SwitchSpec spec, sim::Time t0 = 0.0);
+
+    const SwitchSpec &spec() const { return switchSpec; }
+
+    /** Electrical state: is the bank connected? */
+    bool closed() const { return isClosed; }
+
+    /** Whether the current state is the kind's default state. */
+    bool atDefault() const;
+
+    /**
+     * Command the switch into @p close via the GPIO interface.
+     * Requires the device to be powered (latch needs drive).
+     */
+    void command(bool close, sim::Time t, bool device_powered);
+
+    /**
+     * Advance latch state to time @p t. While @p device_powered the
+     * replenishment circuit keeps the latch full; while unpowered the
+     * latch decays and the switch reverts to default once the latch
+     * falls below threshold.
+     */
+    void update(sim::Time t, bool device_powered);
+
+    /**
+     * Absolute time at which the switch would revert if it stays
+     * unpowered; kNever when at default or the latch is already full
+     * of margin. Call after update().
+     */
+    sim::Time expiryTime(sim::Time now) const;
+
+    /** Analytic retention time R C ln(Vfull / Vthreshold). */
+    double retentionTime() const;
+
+    /** Number of reversion (state-loss) events observed. */
+    std::uint64_t reversions() const { return numReversions; }
+
+  private:
+    bool defaultClosed() const;
+
+    SwitchSpec switchSpec;
+    bool isClosed;
+    double latchVoltage = 0.0;
+    sim::Time lastUpdate;
+    std::uint64_t numReversions = 0;
+};
+
+} // namespace capy::power
+
+#endif // CAPY_POWER_BANKSWITCH_HH

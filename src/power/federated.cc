@@ -1,0 +1,258 @@
+#include "power/federated.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "power/solver.hh"
+#include "sim/logging.hh"
+
+namespace capy::power
+{
+
+namespace
+{
+
+constexpr double kVTol = 1e-6;
+/** Fullness tolerance: crossing-time landings sit within FP error of
+ *  the target; treat anything within 0.1 mV as full. */
+constexpr double kVFullTol = 1e-4;
+constexpr double kTimeTol = 1e-12;
+
+} // namespace
+
+FederatedStorage::FederatedStorage(Spec spec_in,
+                                   std::unique_ptr<Harvester> h)
+    : spec(spec_in), harvester(std::move(h))
+{
+    capy_assert(harvester != nullptr, "federated storage needs a "
+                                      "harvester");
+}
+
+int
+FederatedStorage::addNode(const std::string &name,
+                          const CapacitorSpec &cap)
+{
+    nodes.push_back(NodeState{CapacitorBank(name, cap), 0.0});
+    return static_cast<int>(nodes.size()) - 1;
+}
+
+const CapacitorBank &
+FederatedStorage::node(int idx) const
+{
+    capy_assert(idx >= 0 && idx < numNodes(), "node index %d", idx);
+    return nodes[static_cast<std::size_t>(idx)].bank;
+}
+
+CapacitorBank &
+FederatedStorage::nodeForTest(int idx)
+{
+    capy_assert(idx >= 0 && idx < numNodes(), "node index %d", idx);
+    return nodes[static_cast<std::size_t>(idx)].bank;
+}
+
+void
+FederatedStorage::setNodeLoad(int idx, double watts)
+{
+    capy_assert(idx >= 0 && idx < numNodes(), "node index %d", idx);
+    capy_assert(watts >= 0.0, "negative load");
+    advanceTo(lastTime);
+    nodes[static_cast<std::size_t>(idx)].load = watts;
+}
+
+double
+FederatedStorage::nodeVoltage(int idx) const
+{
+    return node(idx).voltage();
+}
+
+bool
+FederatedStorage::nodeFull(int idx) const
+{
+    double top = std::min(spec.maxStorageVoltage,
+                          node(idx).spec().ratedVoltage);
+    return node(idx).voltage() >= top - kVFullTol;
+}
+
+bool
+FederatedStorage::allFull() const
+{
+    for (int i = 0; i < numNodes(); ++i)
+        if (!nodeFull(i))
+            return false;
+    return true;
+}
+
+int
+FederatedStorage::chargingNode() const
+{
+    for (int i = 0; i < numNodes(); ++i)
+        if (!nodeFull(i))
+            return i;
+    return -1;
+}
+
+double
+FederatedStorage::nodeBrownoutVoltage(int idx) const
+{
+    const NodeState &ns = nodes[static_cast<std::size_t>(idx)];
+    return brownoutVoltage(spec.output, ns.load, ns.bank.esr());
+}
+
+double
+FederatedStorage::totalStoredEnergy() const
+{
+    double e = 0.0;
+    for (const auto &ns : nodes)
+        e += ns.bank.energy();
+    return e;
+}
+
+double
+FederatedStorage::nodePower(std::size_t idx, double v, sim::Time t,
+                            bool charging_here) const
+{
+    const NodeState &ns = nodes[idx];
+    double pd = ns.load > 0.0 ? storageDrawPower(spec.output, ns.load)
+                              : 0.0;
+    pd += spec.nodeQuiescentPower;
+    double pc = 0.0;
+    if (charging_here) {
+        pc = inputChargePower(spec.input, harvester->power(t),
+                              harvester->voltage(t), v);
+    }
+    return pc - pd;
+}
+
+double
+FederatedStorage::stepOnce(sim::Time t, double dt)
+{
+    // Conditions are constant except for the charging node's voltage
+    // phases; bound the step by the charging node's boundaries.
+    int ci = chargingNode();
+    double step = dt;
+
+    if (ci >= 0) {
+        const NodeState &cn = nodes[static_cast<std::size_t>(ci)];
+        double v = cn.bank.voltage();
+        double vtop = std::min(spec.maxStorageVoltage,
+                               cn.bank.spec().ratedVoltage);
+        double p = nodePower(std::size_t(ci), v, t, true);
+        Phase ph{p, cn.bank.capacitance(),
+                 cn.bank.spec().leakageResistance()};
+        // Boundaries: full target plus the input-converter voltage
+        // regions (cold start, bypass cutoff).
+        double vh = harvester->voltage(t);
+        double boundaries[3] = {vtop, spec.input.coldStartVoltage,
+                                vh - spec.input.bypassDiodeDrop};
+        for (double b : boundaries) {
+            if (b <= v + kVTol || b > vtop)
+                continue;
+            double tb = timeToEnergy(cn.bank.energy(),
+                                     cn.bank.energyAtVoltage(b), ph);
+            if (std::isfinite(tb) && tb > kTimeTol)
+                step = std::min(step, tb);
+        }
+    }
+
+    // Advance every node by `step`.
+    bool harvesting = harvester->power(t) > 0.0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        NodeState &ns = nodes[i];
+        double v = ns.bank.voltage();
+        double vtop = std::min(spec.maxStorageVoltage,
+                               ns.bank.spec().ratedVoltage);
+        double e_full = ns.bank.energyAtVoltage(vtop);
+        if (harvesting && ns.load <= 0.0 && int(i) != ci &&
+            v >= vtop - kVFullTol) {
+            // Maintenance top-up: the cascade comparator reconnects
+            // momentarily whenever a full node dips, covering its
+            // leakage. Hold it at the top.
+            ns.bank.setEnergy(e_full);
+            continue;
+        }
+        double p = nodePower(i, v, t, int(i) == ci);
+        Phase ph{p, ns.bank.capacitance(),
+                 ns.bank.spec().leakageResistance()};
+        double e = advanceEnergy(ns.bank.energy(), ph, step);
+        if (e > e_full)
+            e = e_full;  // keeper diode / regulator pins at the top
+        ns.bank.setEnergy(e);
+    }
+    return step;
+}
+
+void
+FederatedStorage::advanceTo(sim::Time t)
+{
+    capy_assert(t >= lastTime, "advanceTo(%g) behind clock %g", t,
+                lastTime);
+    int guard = 0;
+    while (t - lastTime > kTimeTol) {
+        capy_assert(++guard < 100000, "federated advance stalled");
+        double dt = t - lastTime;
+        sim::Time hb = harvester->nextChange(lastTime);
+        if (std::isfinite(hb) && hb - lastTime < dt)
+            dt = std::max(kTimeTol, hb - lastTime);
+        double consumed = stepOnce(lastTime, dt);
+        lastTime += consumed;
+    }
+    lastTime = t;
+}
+
+sim::Time
+FederatedStorage::timeToNodeFull(int idx) const
+{
+    capy_assert(idx >= 0 && idx < numNodes(), "node index %d", idx);
+    // Peek on a scratch copy.
+    FederatedStorage *self = const_cast<FederatedStorage *>(this);
+    std::vector<NodeState> saved = nodes;
+    sim::Time saved_time = lastTime;
+
+    sim::Time total = 0.0;
+    bool reached = false;
+    for (int iter = 0; iter < 100000; ++iter) {
+        if (self->nodeFull(idx)) {
+            reached = true;
+            break;
+        }
+        double dt = 10.0;
+        sim::Time hb = harvester->nextChange(self->lastTime);
+        if (std::isfinite(hb) && hb - self->lastTime < dt)
+            dt = std::max(kTimeTol, hb - self->lastTime);
+        double consumed = self->stepOnce(self->lastTime, dt);
+        self->lastTime += consumed;
+        total += consumed;
+        if (total > 1e7)
+            break;
+    }
+    self->nodes = std::move(saved);
+    self->lastTime = saved_time;
+    return reached ? total : kNever;
+}
+
+sim::Time
+FederatedStorage::timeToAnyBrownout() const
+{
+    // Analytic for each loaded node under current conditions, taking
+    // the cascade's charging assignment as fixed (conservative).
+    int ci = chargingNode();
+    sim::Time earliest = kNever;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const NodeState &ns = nodes[i];
+        if (ns.load <= 0.0)
+            continue;
+        double v_bo = nodeBrownoutVoltage(int(i));
+        double v = ns.bank.voltage();
+        if (v <= v_bo + kVTol)
+            return 0.0;
+        double p = nodePower(i, v, lastTime, int(i) == ci);
+        Phase ph{p, ns.bank.capacitance(),
+                 ns.bank.spec().leakageResistance()};
+        double tb = timeToEnergy(ns.bank.energy(),
+                                 ns.bank.energyAtVoltage(v_bo), ph);
+        earliest = std::min(earliest, tb);
+    }
+    return earliest;
+}
+
+} // namespace capy::power

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Federated energy storage in the style of UFoP ["Tragedy of the
+ * Coulombs", Hester et al., SenSys'15], the paper's closest prior
+ * system (§7): instead of one reconfigurable reservoir, each hardware
+ * consumer (the MCU, each peripheral) gets its own dedicated
+ * capacitor, charged in a fixed-priority cascade by the harvester.
+ *
+ * Federation also avoids charging a worst-case bank before doing any
+ * work, but it allocates energy to *hardware peripherals*, not to
+ * *software tasks*: the allocation is fixed at design time, cannot
+ * follow the application's phase changes, and energy stranded in one
+ * peripheral's capacitor is unavailable to others. Capybara's §7
+ * comparison is reproduced by bench_federated.
+ */
+
+#ifndef CAPY_POWER_FEDERATED_HH
+#define CAPY_POWER_FEDERATED_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "power/booster.hh"
+#include "power/capacitor.hh"
+#include "power/harvester.hh"
+#include "sim/event.hh"
+
+namespace capy::power
+{
+
+/**
+ * A cascade of independently buffered storage nodes sharing one
+ * harvester. Node 0 (the MCU's) has charging priority; each further
+ * node charges only while every earlier node is full, like UFoP's
+ * hardware charging chain.
+ */
+class FederatedStorage
+{
+  public:
+    struct Spec
+    {
+        InputBoosterSpec input{};
+        OutputBoosterSpec output{};
+        double maxStorageVoltage = 3.0;
+        /** Per-node always-on overhead at the storage node, W. */
+        double nodeQuiescentPower = 1e-6;
+    };
+
+    FederatedStorage(Spec spec, std::unique_ptr<Harvester> harvester);
+
+    FederatedStorage(const FederatedStorage &) = delete;
+    FederatedStorage &operator=(const FederatedStorage &) = delete;
+
+    /**
+     * Add a storage node. Nodes charge in addition order (cascade
+     * priority). @return node index.
+     */
+    int addNode(const std::string &name, const CapacitorSpec &cap);
+
+    int numNodes() const { return static_cast<int>(nodes.size()); }
+    const CapacitorBank &node(int idx) const;
+    CapacitorBank &nodeForTest(int idx);
+
+    /** Advance all nodes to absolute time @p t. */
+    void advanceTo(sim::Time t);
+    sim::Time time() const { return lastTime; }
+
+    /** Set the rail load drawn from node @p idx, W (0 = idle). */
+    void setNodeLoad(int idx, double watts);
+
+    /** Voltage of node @p idx. */
+    double nodeVoltage(int idx) const;
+
+    /** Whether node @p idx is charged to the target. */
+    bool nodeFull(int idx) const;
+
+    /** Whether every node is full. */
+    bool allFull() const;
+
+    /**
+     * Time until node @p idx reaches the charge target under current
+     * conditions (accounting for the cascade: earlier nodes charge
+     * first); kNever if unreachable.
+     */
+    sim::Time timeToNodeFull(int idx) const;
+
+    /**
+     * Time until any *loaded* node crosses its brown-out floor;
+     * kNever when no load is active or no crossing occurs.
+     */
+    sim::Time timeToAnyBrownout() const;
+
+    /** Brown-out floor of node @p idx at its current load. */
+    double nodeBrownoutVoltage(int idx) const;
+
+    /** Total energy currently stored across all nodes, J. */
+    double totalStoredEnergy() const;
+
+  private:
+    struct NodeState
+    {
+        CapacitorBank bank;
+        double load = 0.0;  ///< rail W drawn from this node
+    };
+
+    /** Net power into node @p idx at its present voltage, W. */
+    double nodePower(std::size_t idx, double v, sim::Time t,
+                     bool charging_here) const;
+
+    /** Index of the node the cascade is currently charging, or -1
+     *  when all nodes are full. */
+    int chargingNode() const;
+
+    /** Advance by at most @p dt with conditions held constant;
+     *  returns the time actually consumed (stops at node-full /
+     *  node-empty boundaries). */
+    double stepOnce(sim::Time t, double dt);
+
+    Spec spec;
+    std::unique_ptr<Harvester> harvester;
+    std::vector<NodeState> nodes;
+    sim::Time lastTime = 0.0;
+};
+
+} // namespace capy::power
+
+#endif // CAPY_POWER_FEDERATED_HH

@@ -1,0 +1,148 @@
+#include "power/parts.hh"
+
+#include "power/units.hh"
+#include "sim/logging.hh"
+
+namespace capy::power::parts
+{
+
+using namespace capy::literals;
+
+CapacitorSpec
+x5r100uF()
+{
+    return CapacitorSpec{
+        .part = "X5R-100uF",
+        .tech = CapTech::Ceramic,
+        .capacitance = 100_uF,
+        .esr = 10_mOhm,
+        .leakageCurrent = 0.1_uA,
+        .ratedVoltage = 6.3_V,
+        .volume = 20_mm3,
+        .cycleEndurance = 1e12,
+    };
+}
+
+CapacitorSpec
+tant100uF()
+{
+    return CapacitorSpec{
+        .part = "TANT-100uF",
+        .tech = CapTech::Tantalum,
+        .capacitance = 100_uF,
+        .esr = 0.3_Ohm,
+        .leakageCurrent = 1_uA,
+        .ratedVoltage = 6.3_V,
+        .volume = 19_mm3,
+        .cycleEndurance = 1e9,
+    };
+}
+
+CapacitorSpec
+tant330uF()
+{
+    return CapacitorSpec{
+        .part = "TANT-330uF",
+        .tech = CapTech::Tantalum,
+        .capacitance = 330_uF,
+        .esr = 0.2_Ohm,
+        .leakageCurrent = 2_uA,
+        .ratedVoltage = 6.3_V,
+        .volume = 60_mm3,
+        .cycleEndurance = 1e9,
+    };
+}
+
+CapacitorSpec
+tant1000uF()
+{
+    return CapacitorSpec{
+        .part = "TANT-1000uF",
+        .tech = CapTech::Tantalum,
+        .capacitance = 1000_uF,
+        .esr = 0.15_Ohm,
+        .leakageCurrent = 5_uA,
+        .ratedVoltage = 6.3_V,
+        .volume = 180_mm3,
+        .cycleEndurance = 1e9,
+    };
+}
+
+CapacitorSpec
+edlc7_5mF()
+{
+    return CapacitorSpec{
+        .part = "EDLC-7.5mF",
+        .tech = CapTech::Edlc,
+        .capacitance = 7.5_mF,
+        .esr = 25_Ohm,
+        .leakageCurrent = 2_uA,
+        .ratedVoltage = 3.3_V,
+        .volume = 30_mm3,
+        .cycleEndurance = 5e5,
+    };
+}
+
+CapacitorSpec
+cph3225a()
+{
+    return CapacitorSpec{
+        .part = "CPH3225A",
+        .tech = CapTech::Edlc,
+        .capacitance = 11_mF,
+        .esr = 160_Ohm,
+        .leakageCurrent = 6_uA,
+        .ratedVoltage = 3.3_V,
+        .volume = 7.2_mm3,
+        .cycleEndurance = 1e5,
+    };
+}
+
+CapacitorSpec
+byName(const std::string &name)
+{
+    for (const CapacitorSpec &spec : all())
+        if (spec.part == name)
+            return spec;
+    capy_fatal("unknown capacitor part '%s'", name.c_str());
+}
+
+std::vector<CapacitorSpec>
+all()
+{
+    return {x5r100uF(), tant100uF(), tant330uF(), tant1000uF(),
+            edlc7_5mF(), cph3225a()};
+}
+
+CapacitorSpec
+synthesize(CapTech tech, double capacitance)
+{
+    capy_assert(capacitance > 0.0, "synthesize: capacitance %g <= 0",
+                capacitance);
+    // Reference part per technology; scale volume by capacitance and
+    // ESR/leakage inversely/linearly with size (parallel-plate-like
+    // scaling within one family).
+    CapacitorSpec ref;
+    switch (tech) {
+      case CapTech::Ceramic:
+        ref = x5r100uF();
+        break;
+      case CapTech::Tantalum:
+        ref = tant330uF();
+        break;
+      case CapTech::Edlc:
+        ref = cph3225a();
+        break;
+    }
+    double scale = capacitance / ref.capacitance;
+    CapacitorSpec out = ref;
+    out.part = capy::strfmt("%s-synth-%.3guF", capTechName(tech),
+                            capacitance * 1e6);
+    out.capacitance = capacitance;
+    out.volume = ref.volume * scale;
+    out.esr = ref.esr / scale;
+    out.leakageCurrent = ref.leakageCurrent * scale;
+    return out;
+}
+
+} // namespace capy::power::parts

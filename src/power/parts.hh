@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Catalog of concrete capacitor parts used throughout the experiments.
+ * One central catalog keeps every benchmark and application drawing
+ * from the same datasheet-derived constants (DESIGN.md §5).
+ */
+
+#ifndef CAPY_POWER_PARTS_HH
+#define CAPY_POWER_PARTS_HH
+
+#include <string>
+#include <vector>
+
+#include "power/capacitor.hh"
+
+namespace capy::power::parts
+{
+
+/** 100 uF X5R multilayer ceramic (1210-class package). */
+CapacitorSpec x5r100uF();
+
+/** 100 uF tantalum (3528-class package). */
+CapacitorSpec tant100uF();
+
+/** 330 uF tantalum (2917-class package). */
+CapacitorSpec tant330uF();
+
+/** 1000 uF tantalum. */
+CapacitorSpec tant1000uF();
+
+/** 7.5 mF miniature EDLC supercapacitor (generic low-profile). */
+CapacitorSpec edlc7_5mF();
+
+/**
+ * Seiko CPH3225A 11 mF EDLC: the ultra-compact, high-ESR
+ * supercapacitor of Fig. 4 (3.2 x 2.5 x 0.9 mm, ESR ~160 ohm).
+ */
+CapacitorSpec cph3225a();
+
+/** Look up a part by catalog name; fatal on unknown names. */
+CapacitorSpec byName(const std::string &name);
+
+/** All catalog parts. */
+std::vector<CapacitorSpec> all();
+
+/**
+ * A generic part of technology @p tech with the catalog technology's
+ * volumetric density, ESR scaling, and leakage, sized to
+ * @p capacitance. Used for design-space sweeps (Fig. 3).
+ */
+CapacitorSpec synthesize(CapTech tech, double capacitance);
+
+} // namespace capy::power::parts
+
+#endif // CAPY_POWER_PARTS_HH

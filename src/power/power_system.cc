@@ -1,0 +1,640 @@
+#include "power/power_system.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "power/solver.hh"
+#include "sim/logging.hh"
+
+namespace capy::power
+{
+
+namespace
+{
+
+/** Voltage tolerance for boundary/fullness comparisons. */
+constexpr double kVTol = 1e-6;
+
+/** Time below which a step counts as a stall. */
+constexpr double kTimeTol = 1e-12;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+double
+PowerSystem::Node::voltage() const
+{
+    if (!valid || capacitance <= 0.0)
+        return 0.0;
+    return std::sqrt(2.0 * energy / capacitance);
+}
+
+double
+PowerSystem::Node::energyAt(double v) const
+{
+    return 0.5 * capacitance * v * v;
+}
+
+PowerSystem::PowerSystem(Spec system_spec,
+                         std::unique_ptr<Harvester> harvester_in)
+    : spec(system_spec), harvester(std::move(harvester_in)),
+      chargeCeiling(kInf)
+{
+    capy_assert(harvester != nullptr, "power system needs a harvester");
+    capy_assert(spec.maxStorageVoltage > spec.output.minInputStart,
+                "storage target %g V below output booster start %g V: "
+                "the device could never boot",
+                spec.maxStorageVoltage, spec.output.minInputStart);
+}
+
+int
+PowerSystem::addBank(const std::string &name, const CapacitorSpec &cap)
+{
+    banks.push_back(BankState{CapacitorBank(name, cap), std::nullopt});
+    return static_cast<int>(banks.size()) - 1;
+}
+
+int
+PowerSystem::addSwitchedBank(const std::string &name,
+                             const CapacitorSpec &cap,
+                             const SwitchSpec &sw)
+{
+    banks.push_back(BankState{CapacitorBank(name, cap),
+                              BankSwitch(sw, lastTime)});
+    return static_cast<int>(banks.size()) - 1;
+}
+
+const CapacitorBank &
+PowerSystem::bank(int idx) const
+{
+    capy_assert(idx >= 0 && idx < numBanks(), "bank index %d", idx);
+    return banks[static_cast<std::size_t>(idx)].bank;
+}
+
+CapacitorBank &
+PowerSystem::bankForTest(int idx)
+{
+    capy_assert(idx >= 0 && idx < numBanks(), "bank index %d", idx);
+    return banks[static_cast<std::size_t>(idx)].bank;
+}
+
+const BankSwitch *
+PowerSystem::bankSwitch(int idx) const
+{
+    capy_assert(idx >= 0 && idx < numBanks(), "bank index %d", idx);
+    const auto &sw = banks[static_cast<std::size_t>(idx)].sw;
+    return sw ? &*sw : nullptr;
+}
+
+bool
+PowerSystem::bankActive(int idx) const
+{
+    capy_assert(idx >= 0 && idx < numBanks(), "bank index %d", idx);
+    const BankState &bs = banks[static_cast<std::size_t>(idx)];
+    return bs.sw ? bs.sw->closed() : true;
+}
+
+PowerSystem::Node
+PowerSystem::snapshotActive() const
+{
+    Node node;
+    double inv_leak = 0.0;
+    double inv_esr = 0.0;
+    for (int i = 0; i < numBanks(); ++i) {
+        if (!bankActive(i))
+            continue;
+        const CapacitorBank &b = bank(i);
+        node.energy += b.energy();
+        node.capacitance += b.capacitance();
+        double leak_r = b.spec().leakageResistance();
+        if (std::isfinite(leak_r) && leak_r > 0.0)
+            inv_leak += 1.0 / leak_r;
+        if (b.esr() > 0.0)
+            inv_esr += 1.0 / b.esr();
+        else
+            inv_esr = kInf;
+    }
+    node.leakRes = inv_leak > 0.0 ? 1.0 / inv_leak : kInf;
+    node.esr = (inv_esr > 0.0 && std::isfinite(inv_esr))
+                   ? 1.0 / inv_esr
+                   : 0.0;
+    node.valid = node.capacitance > 0.0;
+    return node;
+}
+
+void
+PowerSystem::writebackActive(const Node &node)
+{
+    if (!node.valid)
+        return;
+    for (int i = 0; i < numBanks(); ++i) {
+        if (!bankActive(i))
+            continue;
+        BankState &bs = banks[static_cast<std::size_t>(i)];
+        bs.bank.setEnergy(node.energy * bs.bank.capacitance() /
+                          node.capacitance);
+    }
+}
+
+double
+PowerSystem::topVoltage() const
+{
+    double top = std::min(spec.maxStorageVoltage, chargeCeiling);
+    for (int i = 0; i < numBanks(); ++i) {
+        if (bankActive(i) && bank(i).spec().ratedVoltage > 0.0)
+            top = std::min(top, bank(i).spec().ratedVoltage);
+    }
+    return top;
+}
+
+PowerSystem::PhaseInfo
+PowerSystem::phaseAt(const Node &node, double v, sim::Time t) const
+{
+    double vh = limitedVoltage(spec.limiter, harvester->voltage(t));
+    double ph = harvester->power(t);
+    double vtop = topVoltage();
+    double pd = (railOn ? storageDrawPower(spec.output, loadPower)
+                        : 0.0) +
+                spec.systemQuiescentPower;
+
+    PhaseInfo info;
+
+    // Voltage levels at which the net power changes: the input
+    // booster's cold-start threshold, the bypass diode cutoff, and
+    // the effective charge target.
+    double bounds[3] = {spec.input.coldStartVoltage,
+                        spec.input.bypassEnabled
+                            ? vh - spec.input.bypassDiodeDrop
+                            : -1.0,
+                        vtop};
+    info.boundAbove = vtop;
+    info.boundBelow = 0.0;
+    for (double b : bounds) {
+        if (b > v + kVTol)
+            info.boundAbove = std::min(info.boundAbove, b);
+        if (b < v - kVTol && b > 0.0)
+            info.boundBelow = std::max(info.boundBelow, b);
+    }
+    // Never integrate above the charge target.
+    info.boundAbove = std::min(info.boundAbove, vtop);
+
+    if (v >= vtop - kVTol) {
+        double pc = inputChargePower(spec.input, ph, vh, vtop);
+        double leak_p = std::isfinite(node.leakRes)
+                            ? vtop * vtop / node.leakRes
+                            : 0.0;
+        if (pc >= pd + leak_p) {
+            // Limiter shunts the excess; the node holds at the top.
+            info.pinned = true;
+            info.power = 0.0;
+            return info;
+        }
+        info.power = pc - pd;
+        return info;
+    }
+
+    double pc = inputChargePower(spec.input, ph, vh, v);
+    info.power = pc - pd;
+    return info;
+}
+
+void
+PowerSystem::stepNode(Node &node, sim::Time t0, double dt,
+                      EnergyStats *acc) const
+{
+    double remaining = dt;
+    int stalls = 0;
+    const double pd = (railOn ? storageDrawPower(spec.output, loadPower)
+                              : 0.0) +
+                      spec.systemQuiescentPower;
+
+    for (int guard = 0; remaining > kTimeTol; ++guard) {
+        double v = node.voltage();
+        PhaseInfo info = phaseAt(node, v, t0);
+        if (guard >= 64) {
+            // Many alternating micro-phases: the node is chattering
+            // around a converter boundary (e.g. charging just below
+            // the cold-start threshold, discharging just above it).
+            // Physically it pins there; hold for the remainder.
+            if (acc) {
+                double leak_p = std::isfinite(node.leakRes)
+                                    ? v * v / node.leakRes
+                                    : 0.0;
+                acc->harvestedIn += (pd + leak_p) * remaining;
+                acc->drainedOut += pd * remaining;
+                acc->leaked += leak_p * remaining;
+            }
+            return;
+        }
+
+        if (info.pinned) {
+            // Held at the top by the limiter: harvest covers the load
+            // and leakage; the rest is shunted.
+            double vtop = topVoltage();
+            node.energy = node.energyAt(vtop);
+            if (acc) {
+                double leak_p = std::isfinite(node.leakRes)
+                                    ? vtop * vtop / node.leakRes
+                                    : 0.0;
+                acc->harvestedIn += (pd + leak_p) * remaining;
+                acc->drainedOut += pd * remaining;
+                acc->leaked += leak_p * remaining;
+            }
+            return;
+        }
+
+        Phase phase{info.power, node.capacitance, node.leakRes};
+        double einf = steadyStateEnergy(phase);
+        bool rising = std::isinf(einf) ? info.power > 0.0
+                                       : einf > node.energy;
+        double e_bound =
+            node.energyAt(rising ? info.boundAbove : info.boundBelow);
+        double tb = timeToEnergy(node.energy, e_bound, phase);
+
+        double step = std::min(remaining, tb);
+        if (step <= kTimeTol) {
+            // Parked against a boundary the next phase pushes back
+            // into: hold position (physically the node sits at the
+            // boundary with the converter modes fighting to a
+            // standstill).
+            if (++stalls >= 2) {
+                if (acc) {
+                    // Net power is ~0 while parked; harvest covers
+                    // drain and leakage.
+                    double leak_p =
+                        std::isfinite(node.leakRes)
+                            ? v * v / node.leakRes
+                            : 0.0;
+                    acc->harvestedIn += (pd + leak_p) * remaining;
+                    acc->drainedOut += pd * remaining;
+                    acc->leaked += leak_p * remaining;
+                }
+                return;
+            }
+            node.energy = e_bound;
+            continue;
+        }
+        stalls = 0;
+
+        double e0 = node.energy;
+        node.energy = advanceEnergy(e0, phase, step);
+        if (step == tb && std::isfinite(tb))
+            node.energy = e_bound;  // land exactly on the boundary
+
+        if (acc) {
+            double pc = info.power + pd;
+            acc->harvestedIn += pc * step;
+            acc->drainedOut += pd * step;
+            acc->leaked += info.power * step - (node.energy - e0);
+        }
+        remaining -= step;
+    }
+}
+
+void
+PowerSystem::decayInactive(double dt)
+{
+    for (int i = 0; i < numBanks(); ++i) {
+        if (bankActive(i))
+            continue;
+        BankState &bs = banks[static_cast<std::size_t>(i)];
+        double leak_r = bs.bank.spec().leakageResistance();
+        Phase phase{0.0, bs.bank.capacitance(), leak_r};
+        double e0 = bs.bank.energy();
+        double e1 = advanceEnergy(e0, phase, dt);
+        bs.bank.setEnergy(e1);
+        energyStats.leaked += e0 - e1;
+    }
+}
+
+bool
+PowerSystem::updateLatches(sim::Time t)
+{
+    bool reverted = false;
+    for (auto &bs : banks) {
+        if (!bs.sw)
+            continue;
+        bool before = bs.sw->closed();
+        bs.sw->update(t, railOn);
+        if (bs.sw->closed() != before)
+            reverted = true;
+    }
+    return reverted;
+}
+
+void
+PowerSystem::rebuildAfterReconfig()
+{
+    std::vector<CapacitorBank *> active;
+    for (int i = 0; i < numBanks(); ++i) {
+        if (bankActive(i))
+            active.push_back(&banks[static_cast<std::size_t>(i)].bank);
+    }
+    if (active.size() > 1)
+        equalizeParallel(active);
+    wasFull = isFull();
+}
+
+void
+PowerSystem::recordTrace()
+{
+    if (voltTrace)
+        voltTrace->record(lastTime, storageVoltage());
+}
+
+void
+PowerSystem::advanceTo(sim::Time t)
+{
+    capy_assert(t >= lastTime, "advanceTo(%g) behind clock %g", t,
+                lastTime);
+    int guard = 0;
+    while (true) {
+        capy_assert(++guard < 1000000,
+                    "advanceTo failed to make progress at t=%g",
+                    lastTime);
+        double dt_max = t - lastTime;
+
+        // Bound the interval by the earliest latch reversion (only
+        // decaying while unpowered) and harvester condition changes.
+        if (!railOn) {
+            sim::Time exp = nextLatchExpiry();
+            if (std::isfinite(exp) && exp < lastTime + dt_max)
+                dt_max = std::max(0.0, exp - lastTime);
+        }
+        sim::Time hb = harvester->nextChange(lastTime);
+        if (std::isfinite(hb) && hb < lastTime + dt_max)
+            dt_max = std::max(0.0, hb - lastTime);
+
+        if (dt_max > 0.0) {
+            Node node = snapshotActive();
+            if (node.valid) {
+                stepNode(node, lastTime, dt_max, &energyStats);
+                writebackActive(node);
+            }
+            decayInactive(dt_max);
+            lastTime += dt_max;
+        }
+
+        if (updateLatches(lastTime))
+            rebuildAfterReconfig();
+
+        bool full_now = isFull();
+        if (full_now && !wasFull) {
+            ++energyStats.chargeCompletions;
+            for (auto &bs : banks) {
+                if (!bs.sw || bs.sw->closed())
+                    bs.bank.recordCycle();
+            }
+        }
+        wasFull = full_now;
+        recordTrace();
+
+        if (lastTime >= t)
+            break;
+    }
+}
+
+void
+PowerSystem::commandSwitch(int idx, bool closed)
+{
+    capy_assert(idx >= 0 && idx < numBanks(), "bank index %d", idx);
+    capy_assert(railOn, "switch commanded while the rail is off");
+    BankState &bs = banks[static_cast<std::size_t>(idx)];
+    capy_assert(bs.sw.has_value(), "bank %d ('%s') is hard-wired", idx,
+                bs.bank.name().c_str());
+    bs.sw->command(closed, lastTime, railOn);
+    rebuildAfterReconfig();
+    recordTrace();
+}
+
+void
+PowerSystem::setRailLoad(double watts)
+{
+    capy_assert(watts >= 0.0, "negative rail load %g", watts);
+    loadPower = watts;
+}
+
+void
+PowerSystem::setRailEnabled(bool on)
+{
+    if (railOn == on)
+        return;
+    railOn = on;
+    if (!on)
+        loadPower = 0.0;
+    // Latch replenishment state changed; refresh latches at this time.
+    updateLatches(lastTime);
+}
+
+void
+PowerSystem::setChargeCeiling(double v)
+{
+    capy_assert(v > spec.output.minInputStart,
+                "charge ceiling %g V below booster start %g V", v,
+                spec.output.minInputStart);
+    chargeCeiling = v;
+    wasFull = isFull();
+}
+
+void
+PowerSystem::clearChargeCeiling()
+{
+    chargeCeiling = kInf;
+    wasFull = isFull();
+}
+
+double
+PowerSystem::storageVoltage() const
+{
+    return snapshotActive().voltage();
+}
+
+double
+PowerSystem::activeCapacitance() const
+{
+    return snapshotActive().capacitance;
+}
+
+double
+PowerSystem::activeEsr() const
+{
+    return snapshotActive().esr;
+}
+
+double
+PowerSystem::activeEnergy() const
+{
+    return snapshotActive().energy;
+}
+
+double
+PowerSystem::brownoutVoltageNow() const
+{
+    return brownoutVoltage(spec.output, loadPower, activeEsr());
+}
+
+double
+PowerSystem::startupVoltage(double rail_load) const
+{
+    return startVoltage(spec.output, rail_load, activeEsr());
+}
+
+bool
+PowerSystem::isFull() const
+{
+    Node node = snapshotActive();
+    return node.valid && node.voltage() >= topVoltage() - kVTol;
+}
+
+sim::Time
+PowerSystem::timeToVoltage(double target_v) const
+{
+    capy_assert(target_v >= 0.0, "negative target voltage %g", target_v);
+    Node node = snapshotActive();
+    if (!node.valid)
+        return kNever;
+    double v0 = node.voltage();
+    if (std::abs(v0 - target_v) <= kVTol)
+        return 0.0;
+    double e_target = node.energyAt(target_v);
+
+    double total = 0.0;
+    sim::Time t_abs = lastTime;
+    for (int iter = 0; iter < 100000; ++iter) {
+        sim::Time hb = harvester->nextChange(t_abs);
+        double seg = std::isfinite(hb) ? hb - t_abs : kInf;
+
+        // Within a segment the stepNode phase machinery applies, but
+        // we need the crossing of e_target. Add it by walking phases
+        // manually with the target as an extra stop.
+        double remaining = std::isfinite(seg) ? seg : 1e9;
+        bool segment_has_change = std::isfinite(seg);
+        int stalls = 0;
+        for (int guard = 0; remaining > kTimeTol; ++guard) {
+            double v = node.voltage();
+            PhaseInfo info = phaseAt(node, v, t_abs);
+            if (guard >= 64) {
+                // Boundary chatter (see stepNode): the node pins at
+                // this voltage for the rest of the segment.
+                if (std::abs(v - target_v) <= kVTol)
+                    return total;
+                if (!segment_has_change)
+                    return kNever;
+                total += remaining;
+                t_abs += remaining;
+                remaining = 0.0;
+                break;
+            }
+            if (info.pinned) {
+                // Node parked at the top for the rest of the segment.
+                node.energy = node.energyAt(topVoltage());
+                if (std::abs(node.voltage() - target_v) <= kVTol)
+                    return total;
+                if (!segment_has_change)
+                    return kNever;
+                total += remaining;
+                t_abs += remaining;
+                remaining = 0.0;
+                break;
+            }
+            Phase phase{info.power, node.capacitance, node.leakRes};
+            double einf = steadyStateEnergy(phase);
+            bool rising = std::isinf(einf) ? info.power > 0.0
+                                           : einf > node.energy;
+            double e_bound = node.energyAt(
+                rising ? info.boundAbove : info.boundBelow);
+            double tb = timeToEnergy(node.energy, e_bound, phase);
+            double tt = timeToEnergy(node.energy, e_target, phase);
+            if (tt <= std::min({tb, remaining}))
+                return total + tt;
+            double step = std::min(remaining, tb);
+            if (step <= kTimeTol) {
+                if (++stalls >= 2) {
+                    // Parked against a boundary for the segment.
+                    if (!segment_has_change)
+                        return kNever;
+                    total += remaining;
+                    t_abs += remaining;
+                    remaining = 0.0;
+                    break;
+                }
+                node.energy = e_bound;
+                continue;
+            }
+            stalls = 0;
+            if (std::isinf(step)) {
+                // No boundary: the phase runs out the segment.
+                node.energy = advanceEnergy(node.energy, phase,
+                                            remaining);
+                if (!segment_has_change)
+                    return kNever;  // steady state short of target
+                total += remaining;
+                t_abs += remaining;
+                remaining = 0.0;
+                break;
+            }
+            node.energy = advanceEnergy(node.energy, phase, step);
+            if (step == tb && std::isfinite(tb))
+                node.energy = e_bound;
+            total += step;
+            t_abs += step;
+            remaining -= step;
+        }
+        if (total > 1e8)
+            return kNever;
+    }
+    return kNever;
+}
+
+sim::Time
+PowerSystem::timeToFull() const
+{
+    return timeToVoltage(topVoltage());
+}
+
+sim::Time
+PowerSystem::timeToBrownout() const
+{
+    double floor_v = brownoutVoltageNow();
+    double v = storageVoltage();
+    if (v <= floor_v + kVTol)
+        return 0.0;
+    return timeToVoltage(floor_v);
+}
+
+sim::Time
+PowerSystem::nextLatchExpiry() const
+{
+    if (railOn)
+        return kNever;
+    sim::Time earliest = kNever;
+    for (const auto &bs : banks) {
+        if (!bs.sw || bs.sw->atDefault())
+            continue;
+        earliest = std::min(earliest, bs.sw->expiryTime(lastTime));
+    }
+    return earliest;
+}
+
+double
+PowerSystem::totalSwitchArea() const
+{
+    double area = 0.0;
+    for (const auto &bs : banks)
+        if (bs.sw)
+            area += bs.sw->spec().area;
+    return area;
+}
+
+double
+PowerSystem::totalCapacitorVolume() const
+{
+    double vol = 0.0;
+    for (const auto &bs : banks)
+        vol += bs.bank.spec().volume;
+    return vol;
+}
+
+} // namespace capy::power

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * The composed Capybara power system (Fig. 6a): harvester -> limiter
+ * -> input booster (with cold-start bypass) -> reconfigurable array of
+ * capacitor banks behind latch switches -> output booster -> load
+ * rail.
+ *
+ * Time advances explicitly through advanceTo(); between calls the
+ * system evolves in closed form phase-by-phase (cold-start, bypass,
+ * boosted charge, limiter pinning), so the device layer can jump the
+ * simulation clock straight to charge-complete and brown-out events
+ * obtained from the predictive queries.
+ */
+
+#ifndef CAPY_POWER_POWER_SYSTEM_HH
+#define CAPY_POWER_POWER_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "power/bankswitch.hh"
+#include "power/booster.hh"
+#include "power/capacitor.hh"
+#include "power/harvester.hh"
+#include "sim/trace.hh"
+
+namespace capy::power
+{
+
+/**
+ * Reconfigurable energy-storage power system.
+ *
+ * Usage protocol: construct, add banks, then drive time forward with
+ * advanceTo(). All control calls (switch commands, rail load changes)
+ * and state queries apply at the current internal time — callers must
+ * advanceTo(now) first.
+ */
+class PowerSystem
+{
+  public:
+    /** Fixed design parameters of the power-distribution circuit. */
+    struct Spec
+    {
+        InputBoosterSpec input{};
+        OutputBoosterSpec output{};
+        LimiterSpec limiter{};
+        /** Design charge target for the storage node, V. */
+        double maxStorageVoltage = 3.0;
+        /** Always-on board overhead at the storage node, W. */
+        double systemQuiescentPower = 2e-6;
+        /**
+         * Pre-charging tops out this far below the normal target
+         * (§6.4 switch-circuit limitation).
+         */
+        double prechargePenaltyVoltage = 0.3;
+    };
+
+    /** Energy-flow accounting since construction. */
+    struct EnergyStats
+    {
+        double harvestedIn = 0.0;   ///< J delivered into storage
+        double drainedOut = 0.0;    ///< J drawn for the load + overhead
+        double leaked = 0.0;        ///< J lost to storage leakage
+        std::uint64_t chargeCompletions = 0;  ///< times node hit full
+    };
+
+    PowerSystem(Spec spec, std::unique_ptr<Harvester> harvester);
+
+    PowerSystem(const PowerSystem &) = delete;
+    PowerSystem &operator=(const PowerSystem &) = delete;
+
+    /// @name Construction-time configuration
+    /// @{
+
+    /** Add a hard-wired (always-connected) bank. @return bank index. */
+    int addBank(const std::string &name, const CapacitorSpec &cap);
+
+    /** Add a bank behind a latch switch. @return bank index. */
+    int addSwitchedBank(const std::string &name, const CapacitorSpec &cap,
+                        const SwitchSpec &sw);
+
+    int numBanks() const { return static_cast<int>(banks.size()); }
+    const CapacitorBank &bank(int idx) const;
+    CapacitorBank &bankForTest(int idx);
+    /** Switch behind bank @p idx; nullptr for hard-wired banks. */
+    const BankSwitch *bankSwitch(int idx) const;
+
+    const Spec &systemSpec() const { return spec; }
+    const Harvester &harvesterRef() const { return *harvester; }
+
+    /// @}
+    /// @name Time evolution
+    /// @{
+
+    /** Advance internal state to absolute time @p t (>= time()). */
+    void advanceTo(sim::Time t);
+
+    /** Current internal time. */
+    sim::Time time() const { return lastTime; }
+
+    /// @}
+    /// @name Control (call advanceTo(now) first)
+    /// @{
+
+    /**
+     * Drive the GPIO of bank @p idx's switch. Legal only while the
+     * rail is on (the MCU must be powered to drive a latch).
+     * Closing a charged bank into the active set redistributes charge.
+     */
+    void commandSwitch(int idx, bool closed);
+
+    /** Set the load power drawn at the regulated rail, W. */
+    void setRailLoad(double watts);
+
+    /** Enable/disable the output booster (device boot / power-down). */
+    void setRailEnabled(bool on);
+
+    /**
+     * Cap the charge target at @p v (pre-charge mode); use
+     * clearChargeCeiling() to restore the design target.
+     */
+    void setChargeCeiling(double v);
+    void clearChargeCeiling();
+
+    /// @}
+    /// @name Electrical state
+    /// @{
+
+    bool railEnabled() const { return railOn; }
+    double railLoad() const { return loadPower; }
+    bool bankActive(int idx) const;
+
+    /** Voltage of the active storage node (0 if no bank active). */
+    double storageVoltage() const;
+    double activeCapacitance() const;
+    double activeEsr() const;
+    /** Stored energy across active banks, J. */
+    double activeEnergy() const;
+
+    /** Effective charge target: min(design, active rating, ceiling). */
+    double topVoltage() const;
+
+    /** Brown-out voltage at the current rail load and active ESR. */
+    double brownoutVoltageNow() const;
+
+    /** Storage voltage needed to start the rail at @p rail_load. */
+    double startupVoltage(double rail_load) const;
+
+    /** Whether the storage node is charged to the effective target. */
+    bool isFull() const;
+
+    /// @}
+    /// @name Predictive queries (relative times from now)
+    /// @{
+
+    /**
+     * Time until the storage node first reaches @p target_v under
+     * current conditions; kNever if unreachable.
+     */
+    sim::Time timeToVoltage(double target_v) const;
+
+    /** Time until the node reaches the effective charge target. */
+    sim::Time timeToFull() const;
+
+    /** Time until the rail browns out at the current load. */
+    sim::Time timeToBrownout() const;
+
+    /**
+     * Earliest absolute time an unpowered latch reverts; kNever when
+     * powered or when all switches rest at their defaults.
+     */
+    sim::Time nextLatchExpiry() const;
+
+    /// @}
+    /// @name Accounting
+    /// @{
+
+    const EnergyStats &stats() const { return energyStats; }
+
+    /** Record storage voltage into @p ts on every internal step. */
+    void attachVoltageTrace(sim::TimeSeries *ts) { voltTrace = ts; }
+
+    /** Board area of all switch modules, mm^2. */
+    double totalSwitchArea() const;
+
+    /** Volume of all capacitor banks, mm^3. */
+    double totalCapacitorVolume() const;
+
+    /// @}
+
+  private:
+    struct BankState
+    {
+        CapacitorBank bank;
+        std::optional<BankSwitch> sw;
+    };
+
+    /** Scalar snapshot of the active composite node. */
+    struct Node
+    {
+        double energy = 0.0;
+        double capacitance = 0.0;
+        double leakRes = 0.0;  ///< parallel leakage, ohm (may be inf)
+        double esr = 0.0;
+        bool valid = false;  ///< false when no bank is active
+
+        double voltage() const;
+        double energyAt(double v) const;
+    };
+
+    /** One constant-power phase with its validity bounds in voltage. */
+    struct PhaseInfo
+    {
+        double power = 0.0;   ///< net W into the node
+        bool pinned = false;  ///< held at the top by the limiter
+        double boundAbove = 0.0;  ///< next V where conditions change
+        double boundBelow = 0.0;
+    };
+
+    Node snapshotActive() const;
+    void writebackActive(const Node &node);
+    PhaseInfo phaseAt(const Node &node, double v, sim::Time t) const;
+
+    /**
+     * Evolve @p node over [t0, t0+dt] with the harvester held at its
+     * t0 conditions (caller bounds dt by harvester changes). Updates
+     * @p acc energy accounting when non-null.
+     */
+    void stepNode(Node &node, sim::Time t0, double dt,
+                  EnergyStats *acc) const;
+
+    /** Decay inactive banks over @p dt via their own leakage. */
+    void decayInactive(double dt);
+
+    /** Update all latches to @p t; returns true if any reverted. */
+    bool updateLatches(sim::Time t);
+
+    void rebuildAfterReconfig();
+    void recordTrace();
+
+    Spec spec;
+    std::unique_ptr<Harvester> harvester;
+    std::vector<BankState> banks;
+    sim::Time lastTime = 0.0;
+    bool railOn = false;
+    double loadPower = 0.0;
+    double chargeCeiling;  ///< +inf when cleared
+    bool wasFull = false;  ///< for charge-completion counting
+    EnergyStats energyStats;
+    sim::TimeSeries *voltTrace = nullptr;
+};
+
+} // namespace capy::power
+
+#endif // CAPY_POWER_POWER_SYSTEM_HH

@@ -1,0 +1,90 @@
+#include "power/solver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace capy::power
+{
+
+namespace
+{
+
+/** Relative tolerance for "already at target" checks. */
+constexpr double kRelTol = 1e-12;
+
+bool
+lossless(const Phase &ph)
+{
+    return std::isinf(ph.leakRes);
+}
+
+} // namespace
+
+double
+steadyStateEnergy(const Phase &ph)
+{
+    if (lossless(ph))
+        return ph.power > 0.0 ? kNever : 0.0;
+    return std::max(0.0, ph.power * ph.leakRes * ph.capacitance * 0.5);
+}
+
+double
+advanceEnergy(double e0, const Phase &ph, double dt)
+{
+    capy_assert(ph.capacitance > 0.0, "phase capacitance %g <= 0",
+                ph.capacitance);
+    capy_assert(dt >= 0.0, "negative dt %g", dt);
+    capy_assert(e0 >= 0.0, "negative initial energy %g", e0);
+    if (dt == 0.0)
+        return e0;
+
+    if (lossless(ph)) {
+        // dE/dt = P: linear trajectory, clamped at zero.
+        return std::max(0.0, e0 + ph.power * dt);
+    }
+
+    double tau = ph.leakRes * ph.capacitance * 0.5;
+    double einf = ph.power * tau;  // may be negative when P < 0
+    double e = einf + (e0 - einf) * std::exp(-dt / tau);
+    return std::max(0.0, e);
+}
+
+double
+timeToEnergy(double e0, double target, const Phase &ph)
+{
+    capy_assert(ph.capacitance > 0.0, "phase capacitance %g <= 0",
+                ph.capacitance);
+    capy_assert(e0 >= 0.0 && target >= 0.0,
+                "negative energy (e0=%g, target=%g)", e0, target);
+
+    double scale = std::max({e0, target, 1e-30});
+    if (std::abs(target - e0) <= kRelTol * scale)
+        return 0.0;
+
+    if (lossless(ph)) {
+        if (ph.power == 0.0)
+            return kNever;
+        double t = (target - e0) / ph.power;
+        return t > 0.0 ? t : kNever;
+    }
+
+    double tau = ph.leakRes * ph.capacitance * 0.5;
+    double einf = ph.power * tau;
+    // E(t) moves monotonically from e0 toward einf. The target is
+    // reachable iff it lies strictly between e0 and einf (einf itself
+    // is approached asymptotically), or equals a clamp at zero.
+    double num = target - einf;
+    double den = e0 - einf;
+    if (den == 0.0)
+        return kNever;  // already at steady state, never moves
+    double ratio = num / den;
+    if (ratio <= 0.0)
+        return kNever;  // target on the far side of the asymptote
+    if (ratio >= 1.0)
+        return kNever;  // target behind the start, moving away
+    return -tau * std::log(ratio);
+}
+
+} // namespace capy::power

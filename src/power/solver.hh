@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Closed-form transient solver for capacitor energy under piecewise-
+ * constant conditions.
+ *
+ * Between simulation events a storage node sees a constant net power
+ * P (harvest in minus load out) and a parallel leakage resistance R
+ * across total capacitance C. Stored energy then obeys
+ *
+ *     dE/dt = P - V^2/R = P - 2E/(R C)
+ *
+ * a linear ODE with solution E(t) = Einf + (E0 - Einf) e^{-t/tau},
+ * tau = R C / 2, Einf = P R C / 2. Both the trajectory and crossing
+ * times for energy targets are available in closed form, which lets
+ * the event-driven simulator jump directly to charge-complete and
+ * brown-out instants without numeric integration.
+ */
+
+#ifndef CAPY_POWER_SOLVER_HH
+#define CAPY_POWER_SOLVER_HH
+
+#include <limits>
+
+namespace capy::power
+{
+
+/** Positive infinity, used for "never" crossing times. */
+inline constexpr double kNever = std::numeric_limits<double>::infinity();
+
+/**
+ * Constant-condition phase for the storage node.
+ */
+struct Phase
+{
+    double power = 0.0;        ///< net power into the node, W (can be <0)
+    double capacitance = 0.0;  ///< total node capacitance, F
+    /** Parallel leakage resistance, ohm; infinity = lossless. */
+    double leakRes = std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Energy after @p dt seconds starting from @p e0 joules under @p ph.
+ * Clamped at zero (a capacitor cannot hold negative energy; once
+ * empty, negative net power has nothing left to remove).
+ */
+double advanceEnergy(double e0, const Phase &ph, double dt);
+
+/**
+ * Time for stored energy to reach @p target joules from @p e0 under
+ * @p ph.
+ *
+ * @return 0 when already at the target (within one part in 1e12),
+ *         kNever when the trajectory never reaches it, otherwise the
+ *         positive crossing time in seconds.
+ */
+double timeToEnergy(double e0, double target, const Phase &ph);
+
+/**
+ * Asymptotic energy of the phase (P R C / 2); kNever for a lossless
+ * phase with positive power.
+ */
+double steadyStateEnergy(const Phase &ph);
+
+} // namespace capy::power
+
+#endif // CAPY_POWER_SOLVER_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * SI quantities as plain doubles with user-defined literals for
+ * readable constants (e.g. 330_uF, 10_mW, 250_ms). All library code
+ * stores SI base units: volts, farads, amps, watts, joules, seconds,
+ * ohms; volume in cubic millimetres and area in square millimetres
+ * (board-level quantities).
+ */
+
+#ifndef CAPY_POWER_UNITS_HH
+#define CAPY_POWER_UNITS_HH
+
+namespace capy
+{
+
+inline namespace literals
+{
+
+// Voltage
+constexpr double operator""_V(long double v) { return double(v); }
+constexpr double operator""_V(unsigned long long v) { return double(v); }
+constexpr double operator""_mV(long double v) { return double(v) * 1e-3; }
+constexpr double operator""_mV(unsigned long long v)
+{ return double(v) * 1e-3; }
+
+// Capacitance
+constexpr double operator""_F(long double v) { return double(v); }
+constexpr double operator""_mF(long double v) { return double(v) * 1e-3; }
+constexpr double operator""_mF(unsigned long long v)
+{ return double(v) * 1e-3; }
+constexpr double operator""_uF(long double v) { return double(v) * 1e-6; }
+constexpr double operator""_uF(unsigned long long v)
+{ return double(v) * 1e-6; }
+constexpr double operator""_nF(long double v) { return double(v) * 1e-9; }
+constexpr double operator""_nF(unsigned long long v)
+{ return double(v) * 1e-9; }
+
+// Current
+constexpr double operator""_A(long double v) { return double(v); }
+constexpr double operator""_mA(long double v) { return double(v) * 1e-3; }
+constexpr double operator""_mA(unsigned long long v)
+{ return double(v) * 1e-3; }
+constexpr double operator""_uA(long double v) { return double(v) * 1e-6; }
+constexpr double operator""_uA(unsigned long long v)
+{ return double(v) * 1e-6; }
+constexpr double operator""_nA(long double v) { return double(v) * 1e-9; }
+constexpr double operator""_nA(unsigned long long v)
+{ return double(v) * 1e-9; }
+
+// Power
+constexpr double operator""_W(long double v) { return double(v); }
+constexpr double operator""_W(unsigned long long v) { return double(v); }
+constexpr double operator""_mW(long double v) { return double(v) * 1e-3; }
+constexpr double operator""_mW(unsigned long long v)
+{ return double(v) * 1e-3; }
+constexpr double operator""_uW(long double v) { return double(v) * 1e-6; }
+constexpr double operator""_uW(unsigned long long v)
+{ return double(v) * 1e-6; }
+
+// Energy
+constexpr double operator""_J(long double v) { return double(v); }
+constexpr double operator""_mJ(long double v) { return double(v) * 1e-3; }
+constexpr double operator""_mJ(unsigned long long v)
+{ return double(v) * 1e-3; }
+constexpr double operator""_uJ(long double v) { return double(v) * 1e-6; }
+constexpr double operator""_uJ(unsigned long long v)
+{ return double(v) * 1e-6; }
+constexpr double operator""_nJ(long double v) { return double(v) * 1e-9; }
+constexpr double operator""_nJ(unsigned long long v)
+{ return double(v) * 1e-9; }
+constexpr double operator""_pJ(long double v)
+{ return double(v) * 1e-12; }
+constexpr double operator""_pJ(unsigned long long v)
+{ return double(v) * 1e-12; }
+
+// Time
+constexpr double operator""_s(long double v) { return double(v); }
+constexpr double operator""_s(unsigned long long v) { return double(v); }
+constexpr double operator""_ms(long double v) { return double(v) * 1e-3; }
+constexpr double operator""_ms(unsigned long long v)
+{ return double(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return double(v) * 1e-6; }
+constexpr double operator""_us(unsigned long long v)
+{ return double(v) * 1e-6; }
+constexpr double operator""_minutes(long double v)
+{ return double(v) * 60.0; }
+constexpr double operator""_minutes(unsigned long long v)
+{ return double(v) * 60.0; }
+
+// Resistance
+constexpr double operator""_Ohm(long double v) { return double(v); }
+constexpr double operator""_Ohm(unsigned long long v)
+{ return double(v); }
+constexpr double operator""_mOhm(long double v)
+{ return double(v) * 1e-3; }
+constexpr double operator""_mOhm(unsigned long long v)
+{ return double(v) * 1e-3; }
+constexpr double operator""_kOhm(long double v)
+{ return double(v) * 1e3; }
+constexpr double operator""_kOhm(unsigned long long v)
+{ return double(v) * 1e3; }
+constexpr double operator""_MOhm(long double v)
+{ return double(v) * 1e6; }
+constexpr double operator""_MOhm(unsigned long long v)
+{ return double(v) * 1e6; }
+
+// Geometry (board-level)
+constexpr double operator""_mm2(long double v) { return double(v); }
+constexpr double operator""_mm2(unsigned long long v)
+{ return double(v); }
+constexpr double operator""_mm3(long double v) { return double(v); }
+constexpr double operator""_mm3(unsigned long long v)
+{ return double(v); }
+
+} // namespace literals
+
+} // namespace capy
+
+#endif // CAPY_POWER_UNITS_HH

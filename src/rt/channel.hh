@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Chain-style channels: non-volatile, task-to-task data flow.
+ *
+ * In Chain, tasks exchange data exclusively through channels whose
+ * contents live in non-volatile memory and are updated only by
+ * completed tasks, which is what makes task restarts idempotent. In
+ * this model a task's body runs only at completion (the workload is
+ * simulated as opaque time/energy), so a channel reduces to a typed
+ * non-volatile cell plus a bounded NV ring buffer for time series.
+ */
+
+#ifndef CAPY_RT_CHANNEL_HH
+#define CAPY_RT_CHANNEL_HH
+
+#include <array>
+#include <cstddef>
+
+#include "dev/nvmem.hh"
+#include "sim/logging.hh"
+
+namespace capy::rt
+{
+
+/** Scalar channel: one non-volatile value. */
+template <typename T>
+using Channel = dev::NvCell<T>;
+
+/**
+ * Bounded non-volatile ring buffer, e.g. the TempAlarm time series of
+ * recent samples that ships with each alarm packet (§6.1.2).
+ */
+template <typename T, std::size_t N>
+class RingChannel
+{
+  public:
+    explicit RingChannel(dev::NvMemory *mem = nullptr) : memory(mem) {}
+
+    /** Append a value, evicting the oldest when full. */
+    void
+    push(const T &v)
+    {
+        data[head] = v;
+        head = (head + 1) % N;
+        if (count < N)
+            ++count;
+        if (memory)
+            memory->noteWrite(1);
+    }
+
+    std::size_t size() const { return count; }
+    static constexpr std::size_t capacity() { return N; }
+    bool full() const { return count == N; }
+
+    /** Element @p i counting from the oldest retained value. */
+    const T &
+    at(std::size_t i) const
+    {
+        capy_assert(i < count, "ring index %zu of %zu", i, count);
+        std::size_t start = (head + N - count) % N;
+        if (memory)
+            memory->noteRead();
+        return data[(start + i) % N];
+    }
+
+    void
+    clear()
+    {
+        count = 0;
+        head = 0;
+        if (memory)
+            memory->noteWrite(1);
+    }
+
+  private:
+    std::array<T, N> data{};
+    std::size_t head = 0;
+    std::size_t count = 0;
+    dev::NvMemory *memory;
+};
+
+} // namespace capy::rt
+
+#endif // CAPY_RT_CHANNEL_HH

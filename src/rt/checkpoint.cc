@@ -1,0 +1,139 @@
+#include "rt/checkpoint.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "power/solver.hh"
+#include "sim/logging.hh"
+
+namespace capy::rt
+{
+
+CheckpointKernel::CheckpointKernel(dev::Device &device, Spec spec_in,
+                                   double total_work,
+                                   double extra_power,
+                                   std::function<void()> on_complete,
+                                   dev::NvMemory *nv)
+    : dev(device), spec(spec_in), totalWork(total_work),
+      extraPower(extra_power), onComplete(std::move(on_complete)),
+      nvProgress(nv, 0.0)
+{
+    capy_assert(total_work > 0.0, "no work to run");
+    capy_assert(spec.voltageHeadroom > 0.0, "headroom must be > 0");
+}
+
+void
+CheckpointKernel::start()
+{
+    dev.setHooks(dev::Device::Hooks{
+        .onBoot = [this] { onBoot(); },
+        .onPowerFail = [this] { onPowerFail(); },
+    });
+    dev.start();
+}
+
+void
+CheckpointKernel::onBoot()
+{
+    if (done)
+        return;
+    restoreThenCompute();
+}
+
+void
+CheckpointKernel::onPowerFail()
+{
+    // Any power failure destroys volatile state: every slice computed
+    // since the last committed checkpoint is lost — including when
+    // the failure strikes during the checkpoint write itself.
+    inCompute = false;
+    ckptStats.lostWork += sliceInFlight;
+    sliceInFlight = 0.0;
+}
+
+void
+CheckpointKernel::restoreThenCompute()
+{
+    if (nvProgress.get() > 0.0) {
+        ++ckptStats.restores;
+        ckptStats.overheadTime += spec.restoreTime;
+        dev.runWorkload(dev.mcu().activePower, spec.restoreTime,
+                        [this] { computeSlice(); });
+        return;
+    }
+    computeSlice();
+}
+
+void
+CheckpointKernel::computeSlice()
+{
+    if (done)
+        return;
+    double remaining = totalWork - nvProgress.get();
+    if (remaining <= 0.0) {
+        done = true;
+        if (onComplete)
+            onComplete();
+        return;
+    }
+
+    // Run until either the work completes or the low-voltage
+    // interrupt threshold is reached.
+    auto &ps = dev.powerSystem();
+    ps.advanceTo(dev.simulator().now());
+    double compute_power = dev.mcu().activePower + extraPower;
+    // Predict the LVI instant under the compute load.
+    ps.setRailLoad(compute_power);
+    double v_lvi = ps.brownoutVoltageNow() + spec.voltageHeadroom;
+    sim::Time t_lvi = ps.storageVoltage() > v_lvi
+                          ? ps.timeToVoltage(v_lvi)
+                          : 0.0;
+
+    if (t_lvi <= 1e-6) {
+        // Already at the threshold: checkpoint (nothing new to save)
+        // and hibernate until recharged.
+        if (sliceInFlight > 0.0) {
+            writeCheckpoint(sliceInFlight);
+            return;
+        }
+        dev.powerDown();
+        return;
+    }
+
+    double slice = std::min(remaining, t_lvi);
+    inCompute = true;
+    dev.runWorkload(compute_power, slice, [this, slice, remaining] {
+        inCompute = false;
+        sliceInFlight += slice;
+        if (slice >= remaining) {
+            // Work finished: commit immediately (final checkpoint).
+            writeCheckpoint(sliceInFlight);
+            return;
+        }
+        // LVI fired: save state while energy remains.
+        writeCheckpoint(sliceInFlight);
+    });
+}
+
+void
+CheckpointKernel::writeCheckpoint(double slice_work)
+{
+    ckptStats.overheadTime += spec.checkpointTime;
+    dev.runWorkload(
+        dev.mcu().activePower + spec.checkpointPower,
+        spec.checkpointTime, [this, slice_work] {
+            ++ckptStats.checkpoints;
+            nvProgress.set(nvProgress.get() + slice_work);
+            sliceInFlight = 0.0;
+            if (nvProgress.get() >= totalWork - 1e-12) {
+                done = true;
+                if (onComplete)
+                    onComplete();
+                return;
+            }
+            // Hibernate until the buffer refills.
+            dev.powerDown();
+        });
+}
+
+} // namespace capy::rt

@@ -1,0 +1,119 @@
+#include "rt/kernel.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace capy::rt
+{
+
+Kernel::Kernel(dev::Device &device, const App &app, dev::NvMemory *nv)
+    : dev(device), application(app), nvCurrent(nv, app.entry())
+{}
+
+void
+Kernel::setPreTaskGate(PreTaskGate gate)
+{
+    capy_assert(!started, "gate must be installed before start()");
+    preTaskGate = std::move(gate);
+}
+
+void
+Kernel::start()
+{
+    capy_assert(!started, "kernel already started");
+    started = true;
+    dev.setHooks(dev::Device::Hooks{
+        .onBoot = [this] { onBoot(); },
+        .onPowerFail = [this] { onPowerFail(); },
+    });
+    dev.start();
+}
+
+void
+Kernel::onBoot()
+{
+    if (isHalted)
+        return;
+    executeCurrent();
+}
+
+void
+Kernel::onPowerFail()
+{
+    // The interrupted attempt left no visible effects (task bodies run
+    // only at completion); the NV task pointer still designates the
+    // interrupted task, which restarts on the next boot.
+    if (inTask) {
+        inTask = false;
+        ++kernelStats.taskRestarts;
+        const Task *task = nvCurrent.get();
+        auto &use = taskEnergy[task->name];
+        ++use.failedAttempts;
+        const auto &aborted = dev.lastAbortedWorkload();
+        use.wastedEnergy += aborted.railPower * aborted.elapsed;
+    }
+}
+
+void
+Kernel::executeCurrent()
+{
+    const Task *task = nvCurrent.get();
+    capy_assert(task != nullptr, "kernel scheduled with no task");
+    if (preTaskGate) {
+        preTaskGate(*task, [this, task] { runTask(task); });
+        return;
+    }
+    runTask(task);
+}
+
+void
+Kernel::runTask(const Task *task)
+{
+    inTask = true;
+    double power = task->absolutePower > 0.0
+                       ? task->absolutePower
+                       : dev.mcu().activePower + task->extraPower;
+    dev.runWorkload(power, task->duration,
+                    [this, task] { completeTask(task); });
+}
+
+void
+Kernel::completeTask(const Task *task)
+{
+    inTask = false;
+    ++kernelStats.taskCompletions;
+    auto &use = taskEnergy[task->name];
+    ++use.completions;
+    double power = task->absolutePower > 0.0
+                       ? task->absolutePower
+                       : dev.mcu().activePower + task->extraPower;
+    use.railEnergy += power * task->duration;
+    use.activeTime += task->duration;
+    const Task *next = task->body(*this);
+    commitTransition(next);
+    if (isHalted)
+        return;
+    if (task->sleepAfter > 0.0) {
+        // Low-power pause after the transition committed; the pause is
+        // outside the atomic region, so a power failure during it
+        // leaves the committed transition standing.
+        dev.runWorkload(dev.mcu().sleepPower, task->sleepAfter,
+                        [this] { executeCurrent(); });
+        return;
+    }
+    executeCurrent();
+}
+
+void
+Kernel::commitTransition(const Task *next)
+{
+    if (next == nullptr) {
+        isHalted = true;
+        return;
+    }
+    ++kernelStats.transitions;
+    nvCurrent.set(next);
+}
+
+} // namespace capy::rt

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The intermittent-execution kernel: drives an App's task graph on a
+ * Device, keeping the current-task pointer in non-volatile memory so
+ * execution resumes at the interrupted task after every power
+ * failure.
+ *
+ * The Capybara runtime (src/core) attaches through the pre-task gate:
+ * before a task executes — on every attempt, including restarts — the
+ * gate may reconfigure the power system and power the device down to
+ * recharge; execution proceeds only when the gate calls through.
+ */
+
+#ifndef CAPY_RT_KERNEL_HH
+#define CAPY_RT_KERNEL_HH
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "dev/device.hh"
+#include "dev/nvmem.hh"
+#include "rt/task.hh"
+
+namespace capy::rt
+{
+
+/**
+ * Chain-style scheduler for one application on one device.
+ */
+class Kernel
+{
+  public:
+    /**
+     * Pre-task gate: called with the task about to execute and a
+     * continuation. The gate either calls @p proceed (possibly after
+     * reconfiguring the power system) or parks the device
+     * (Device::powerDown()); after the subsequent boot the gate runs
+     * again for the same task.
+     */
+    using PreTaskGate =
+        std::function<void(const Task &, std::function<void()> proceed)>;
+
+    /** Execution counters. */
+    struct Stats
+    {
+        std::uint64_t taskCompletions = 0;
+        /** Task attempts cut short by a power failure. */
+        std::uint64_t taskRestarts = 0;
+        /** Committed task-to-task transitions. */
+        std::uint64_t transitions = 0;
+    };
+
+    /**
+     * Per-task energy/time attribution — the §3 provisioning
+     * methodology ("measure a task's energy consumption") built into
+     * the kernel. Wasted energy is charge spent on attempts that a
+     * power failure discarded.
+     */
+    struct TaskEnergyUse
+    {
+        std::uint64_t completions = 0;
+        std::uint64_t failedAttempts = 0;
+        double railEnergy = 0.0;    ///< J spent on completed runs
+        double wastedEnergy = 0.0;  ///< J spent on aborted attempts
+        double activeTime = 0.0;    ///< s of completed execution
+    };
+
+    Kernel(dev::Device &device, const App &app,
+           dev::NvMemory *nv = nullptr);
+
+    /** Install the Capybara gate; must precede start(). */
+    void setPreTaskGate(PreTaskGate gate);
+
+    /** Wire device hooks and begin (device starts charging). */
+    void start();
+
+    /** The task the NV pointer currently designates. */
+    const Task *currentTask() const { return nvCurrent.get(); }
+
+    /** True once a body returned nullptr. */
+    bool halted() const { return isHalted; }
+
+    const Stats &stats() const { return kernelStats; }
+
+    /** Energy attribution by task name. */
+    const std::map<std::string, TaskEnergyUse> &energyByTask() const
+    {
+        return taskEnergy;
+    }
+
+    dev::Device &device() { return dev; }
+    sim::Time now() const { return dev.simulator().now(); }
+
+  private:
+    void onBoot();
+    void onPowerFail();
+    void executeCurrent();
+    void runTask(const Task *task);
+    void completeTask(const Task *task);
+    void commitTransition(const Task *next);
+
+    dev::Device &dev;
+    const App &application;
+    dev::NvCell<const Task *> nvCurrent;
+    PreTaskGate preTaskGate;
+    Stats kernelStats;
+    std::map<std::string, TaskEnergyUse> taskEnergy;
+    bool started = false;
+    bool isHalted = false;
+    bool inTask = false;
+};
+
+} // namespace capy::rt
+
+#endif // CAPY_RT_KERNEL_HH

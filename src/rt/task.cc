@@ -1,0 +1,49 @@
+#include "rt/task.hh"
+
+#include "sim/logging.hh"
+
+namespace capy::rt
+{
+
+Task *
+App::addTask(std::string name, double duration, double extra_power,
+             TaskBody body, double sleep_after)
+{
+    capy_assert(duration >= 0.0, "task '%s': negative duration",
+                name.c_str());
+    capy_assert(extra_power >= 0.0, "task '%s': negative power",
+                name.c_str());
+    capy_assert(body != nullptr, "task '%s': missing body",
+                name.c_str());
+    tasks.push_back(Task{std::move(name), duration, extra_power, 0.0,
+                         std::move(body), sleep_after});
+    Task *t = &tasks.back();
+    if (!entryTask)
+        entryTask = t;
+    return t;
+}
+
+void
+App::setEntry(const Task *task)
+{
+    capy_assert(task != nullptr, "entry task is null");
+    entryTask = task;
+}
+
+const Task *
+App::entry() const
+{
+    capy_assert(entryTask != nullptr, "app has no tasks");
+    return entryTask;
+}
+
+const Task *
+App::find(const std::string &name) const
+{
+    for (const Task &t : tasks)
+        if (t.name == name)
+            return &t;
+    return nullptr;
+}
+
+} // namespace capy::rt

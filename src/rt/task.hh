@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Task-based intermittent programming model in the style of Chain
+ * [Colin & Lucia, OOPSLA'16], which the paper's applications are
+ * written in (§6.1).
+ *
+ * An application is a graph of function-like tasks. A task executes
+ * atomically: its externally visible effects (its body) apply only
+ * when the task runs to completion, and control transfers to the next
+ * task through a non-volatile task pointer committed at the
+ * transition. A power failure mid-task discards the attempt; on
+ * reboot the same task restarts from the top.
+ */
+
+#ifndef CAPY_RT_TASK_HH
+#define CAPY_RT_TASK_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+
+namespace capy::rt
+{
+
+class Kernel;
+struct Task;
+
+/**
+ * Task body: runs at the instant the task's atomic workload
+ * completes, applies the task's effects (sampling, computation,
+ * transmission bookkeeping), and names the successor task
+ * (the `nexttask` statement). Returning nullptr halts the
+ * application.
+ */
+using TaskBody = std::function<const Task *(Kernel &)>;
+
+/**
+ * One application task. Execution cost is explicit: @ref duration
+ * seconds of atomic operation at the MCU's active power plus
+ * @ref extraPower for the peripherals and radios the task keeps on.
+ */
+struct Task
+{
+    std::string name;
+    /** Atomic execution time, s. */
+    double duration = 0.0;
+    /** Peripheral/radio power on top of MCU active power, W. */
+    double extraPower = 0.0;
+    /**
+     * If positive, the total rail power of the task, replacing
+     * mcu.activePower + extraPower. Used for workloads where the host
+     * MCU sleeps while a subsystem works (e.g. a radio session).
+     */
+    double absolutePower = 0.0;
+    /** Effects + successor selection, applied at completion. */
+    TaskBody body;
+    /**
+     * Optional low-power pause after the task commits, s (sleep
+     * pacing between samples; the device stays on at sleep power).
+     */
+    double sleepAfter = 0.0;
+};
+
+/**
+ * An application: an owning container of tasks with stable addresses
+ * plus a designated entry task.
+ */
+class App
+{
+  public:
+    /** Create a task; the returned pointer is stable for the App's
+     *  lifetime. The first task added becomes the entry by default. */
+    Task *addTask(std::string name, double duration, double extra_power,
+                  TaskBody body, double sleep_after = 0.0);
+
+    /** Override the entry task. */
+    void setEntry(const Task *task);
+
+    const Task *entry() const;
+
+    std::size_t taskCount() const { return tasks.size(); }
+
+    /** Look up a task by name; nullptr when absent. */
+    const Task *find(const std::string &name) const;
+
+  private:
+    std::deque<Task> tasks;
+    const Task *entryTask = nullptr;
+};
+
+} // namespace capy::rt
+
+#endif // CAPY_RT_TASK_HH

@@ -1,0 +1,74 @@
+#include "sim/event.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace capy::sim
+{
+
+EventId
+EventQueue::schedule(Time when, std::function<void()> fn)
+{
+    capy_assert(fn != nullptr, "scheduled a null callback");
+    EventId id = nextId++;
+    heap.push(Record{when, nextSeq++, id, std::move(fn)});
+    pendingIds.insert(id);
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    auto it = pendingIds.find(id);
+    if (it == pendingIds.end())
+        return false;
+    pendingIds.erase(it);
+    cancelled.insert(id);
+    return true;
+}
+
+void
+EventQueue::skipCancelled() const
+{
+    while (!heap.empty()) {
+        const Record &top = heap.top();
+        auto it = cancelled.find(top.id);
+        if (it == cancelled.end())
+            return;
+        cancelled.erase(it);
+        heap.pop();
+    }
+}
+
+bool
+EventQueue::empty() const
+{
+    skipCancelled();
+    return heap.empty();
+}
+
+Time
+EventQueue::nextTime() const
+{
+    skipCancelled();
+    capy_assert(!heap.empty(), "nextTime() on an empty event queue");
+    return heap.top().when;
+}
+
+Time
+EventQueue::runNext()
+{
+    skipCancelled();
+    capy_assert(!heap.empty(), "runNext() on an empty event queue");
+    // Move the record out before popping so the callback may schedule
+    // further events (which can reallocate the heap) safely.
+    Record rec = std::move(const_cast<Record &>(heap.top()));
+    heap.pop();
+    pendingIds.erase(rec.id);
+    ++numExecuted;
+    rec.fn();
+    return rec.when;
+}
+
+} // namespace capy::sim

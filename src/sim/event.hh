@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Discrete-event queue: time-ordered callbacks with stable FIFO
+ * ordering among simultaneous events and O(log n) cancellation.
+ */
+
+#ifndef CAPY_SIM_EVENT_HH
+#define CAPY_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace capy::sim
+{
+
+/** Simulated time in seconds. */
+using Time = double;
+
+/** Handle identifying a scheduled event; 0 is never a valid id. */
+using EventId = std::uint64_t;
+
+/** Sentinel id meaning "no event". */
+inline constexpr EventId kInvalidEvent = 0;
+
+/**
+ * Min-heap of timestamped callbacks. Events scheduled for the same
+ * instant run in scheduling order. Cancelled events are skipped lazily
+ * when they reach the head of the heap.
+ */
+class EventQueue
+{
+  public:
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * @return a handle usable with cancel().
+     */
+    EventId schedule(Time when, std::function<void()> fn);
+
+    /**
+     * Cancel a previously scheduled event.
+     * @retval true if the event was pending and is now cancelled.
+     * @retval false if it already ran, was already cancelled, or the
+     *         handle is invalid.
+     */
+    bool cancel(EventId id);
+
+    /** @return true when no runnable events remain. */
+    bool empty() const;
+
+    /** Time of the earliest pending event; empty() must be false. */
+    Time nextTime() const;
+
+    /**
+     * Pop the earliest pending event and run its callback.
+     * @return the time at which the event ran.
+     */
+    Time runNext();
+
+    /** Number of events executed so far. */
+    std::uint64_t executed() const { return numExecuted; }
+
+    /** Number of events currently pending (excludes cancelled). */
+    std::size_t pending() const { return pendingIds.size(); }
+
+    /** @retval true if @p id refers to a still-pending event. */
+    bool isPending(EventId id) const { return pendingIds.contains(id); }
+
+  private:
+    struct Record
+    {
+        Time when;
+        std::uint64_t seq;
+        EventId id;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Record &a, const Record &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Drop cancelled records from the head of the heap. */
+    void skipCancelled() const;
+
+    mutable std::priority_queue<Record, std::vector<Record>, Later> heap;
+    mutable std::unordered_set<EventId> cancelled;
+    std::unordered_set<EventId> pendingIds;
+    std::uint64_t nextSeq = 0;
+    EventId nextId = 1;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace capy::sim
+
+#endif // CAPY_SIM_EVENT_HH

@@ -1,0 +1,101 @@
+#include "sim/export.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace capy::sim
+{
+
+bool
+writeCsv(const TimeSeries &series, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << series.csv();
+    return bool(out);
+}
+
+bool
+writeCsv(const std::vector<const TimeSeries *> &series,
+         const std::string &path)
+{
+    capy_assert(!series.empty(), "no series to export");
+    std::ofstream out(path);
+    if (!out)
+        return false;
+
+    out << "time";
+    for (const TimeSeries *s : series)
+        out << ',' << s->name();
+    out << '\n';
+
+    // Union of timestamps, step interpolation via at().
+    std::vector<Time> times;
+    for (const TimeSeries *s : series)
+        for (const auto &p : s->points())
+            times.push_back(p.t);
+    std::sort(times.begin(), times.end());
+    times.erase(std::unique(times.begin(), times.end()), times.end());
+
+    for (Time t : times) {
+        out << t;
+        for (const TimeSeries *s : series)
+            out << ',' << (s->empty() ? 0.0 : s->at(t));
+        out << '\n';
+    }
+    return bool(out);
+}
+
+bool
+writeCsv(const SpanTrace &spans, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "start,end,duration,label\n";
+    for (const Span &s : spans.spans()) {
+        out << s.start << ',' << s.end << ',' << s.duration() << ','
+            << s.label << '\n';
+    }
+    return bool(out);
+}
+
+bool
+writeCsv(const Histogram &hist, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "bin_lo,bin_hi,count\n";
+    if (hist.underflow() > 0)
+        out << "-inf," << hist.binLo(0) << ',' << hist.underflow()
+            << '\n';
+    for (std::size_t i = 0; i < hist.numBins(); ++i) {
+        out << hist.binLo(i) << ',' << hist.binHi(i) << ','
+            << hist.binCount(i) << '\n';
+    }
+    if (hist.overflow() > 0)
+        out << hist.binHi(hist.numBins() - 1) << ",+inf,"
+            << hist.overflow() << '\n';
+    return bool(out);
+}
+
+std::string
+gnuplotScript(const std::string &csv_path, const std::string &title,
+              const std::string &ylabel)
+{
+    return strfmt("set datafile separator ','\n"
+                  "set key autotitle columnhead\n"
+                  "set title '%s'\n"
+                  "set xlabel 'time (s)'\n"
+                  "set ylabel '%s'\n"
+                  "set grid\n"
+                  "plot '%s' using 1:2 with lines\n",
+                  title.c_str(), ylabel.c_str(), csv_path.c_str());
+}
+
+} // namespace capy::sim

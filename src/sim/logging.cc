@@ -1,0 +1,90 @@
+#include "sim/logging.hh"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <vector>
+
+namespace capy
+{
+
+namespace
+{
+
+std::atomic<unsigned long> warnCounter{0};
+std::atomic<bool> quietMode{false};
+
+} // namespace
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file,
+                 line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file,
+                 line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    warnCounter.fetch_add(1, std::memory_order_relaxed);
+    if (!quietMode.load(std::memory_order_relaxed))
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quietMode.load(std::memory_order_relaxed))
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+unsigned long
+warnCount()
+{
+    return warnCounter.load(std::memory_order_relaxed);
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode.store(quiet, std::memory_order_relaxed);
+}
+
+} // namespace capy

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 style.
+ *
+ * Two error channels with distinct purposes:
+ *  - panic(): something happened that should never happen regardless of
+ *    what the user does — a bug in this library. Calls std::abort().
+ *  - fatal(): the simulation cannot continue because of a user error
+ *    (bad configuration, invalid arguments). Exits with an error code.
+ *
+ * Two status channels:
+ *  - warn(): functionality may not behave as the user expects; a likely
+ *    place to look if strange behaviour follows.
+ *  - inform(): normal operating messages with no connotation of error.
+ */
+
+#ifndef CAPY_SIM_LOGGING_HH
+#define CAPY_SIM_LOGGING_HH
+
+#include <string>
+
+namespace capy
+{
+
+/** Render a printf-style format string to a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort on an internal invariant violation (library bug). */
+#define capy_panic(...) \
+    ::capy::detail::panicImpl(__FILE__, __LINE__, \
+                              ::capy::strfmt(__VA_ARGS__))
+
+/** Exit on an unrecoverable user/configuration error. */
+#define capy_fatal(...) \
+    ::capy::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::capy::strfmt(__VA_ARGS__))
+
+/** Warn about suspicious but non-fatal conditions. */
+#define capy_warn(...) \
+    ::capy::detail::warnImpl(::capy::strfmt(__VA_ARGS__))
+
+/** Informational status message. */
+#define capy_inform(...) \
+    ::capy::detail::informImpl(::capy::strfmt(__VA_ARGS__))
+
+/** Assert an invariant; panics with a message when violated. */
+#define capy_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            capy_panic("assertion failed: %s — %s", #cond, \
+                       ::capy::strfmt(__VA_ARGS__).c_str()); \
+        } \
+    } while (0)
+
+/** Count of warnings emitted so far (for tests). */
+unsigned long warnCount();
+
+/** Suppress or re-enable warn()/inform() output (for tests/benches). */
+void setQuiet(bool quiet);
+
+} // namespace capy
+
+#endif // CAPY_SIM_LOGGING_HH

@@ -1,0 +1,117 @@
+#include "sim/random.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace capy::sim
+{
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state(0), inc((stream << 1u) | 1u)
+{
+    next32();
+    state += seed;
+    next32();
+}
+
+std::uint32_t
+Rng::next32()
+{
+    std::uint64_t old = state;
+    state = old * 6364136223846793005ULL + inc;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+}
+
+std::uint64_t
+Rng::next64()
+{
+    return (static_cast<std::uint64_t>(next32()) << 32) | next32();
+}
+
+double
+Rng::uniform()
+{
+    // 53 random bits into [0, 1).
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    capy_assert(hi >= lo, "uniform(%g, %g): empty range", lo, hi);
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    capy_assert(hi >= lo, "uniformInt: empty range");
+    std::uint64_t range = hi - lo + 1;
+    if (range == 0)  // full 64-bit range
+        return next64();
+    // Rejection sampling to remove modulo bias.
+    std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+    std::uint64_t v;
+    do {
+        v = next64();
+    } while (v >= limit);
+    return lo + v % range;
+}
+
+double
+Rng::exponential(double mean)
+{
+    capy_assert(mean > 0.0, "exponential mean %g must be positive",
+                mean);
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal(double mu, double sigma)
+{
+    if (haveSpare) {
+        haveSpare = false;
+        return mu + sigma * spare;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare = mag * std::sin(2.0 * M_PI * u2);
+    haveSpare = true;
+    return mu + sigma * mag * std::cos(2.0 * M_PI * u2);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+std::vector<double>
+poissonArrivals(Rng &rng, double mean_interval, double horizon,
+                double start_after)
+{
+    capy_assert(mean_interval > 0.0, "mean interval must be positive");
+    std::vector<double> arrivals;
+    double t = start_after;
+    for (;;) {
+        t += rng.exponential(mean_interval);
+        if (t >= horizon)
+            break;
+        arrivals.push_back(t);
+    }
+    return arrivals;
+}
+
+} // namespace capy::sim

@@ -1,0 +1,56 @@
+#include "sim/simulator.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace capy::sim
+{
+
+EventId
+Simulator::schedule(Time delay, std::function<void()> fn)
+{
+    capy_assert(delay >= 0.0, "negative delay %g", delay);
+    return queue.schedule(currentTime + delay, std::move(fn));
+}
+
+EventId
+Simulator::scheduleAt(Time when, std::function<void()> fn)
+{
+    capy_assert(when >= currentTime,
+                "scheduleAt(%g) is in the past (now %g)", when,
+                currentTime);
+    return queue.schedule(when, std::move(fn));
+}
+
+void
+Simulator::run()
+{
+    stopRequested = false;
+    while (!queue.empty() && !stopRequested) {
+        Time when = queue.nextTime();
+        capy_assert(when >= currentTime,
+                    "event time %g behind clock %g", when, currentTime);
+        currentTime = when;
+        queue.runNext();
+    }
+}
+
+void
+Simulator::runUntil(Time until)
+{
+    capy_assert(until >= currentTime,
+                "runUntil(%g) is in the past (now %g)", until,
+                currentTime);
+    stopRequested = false;
+    while (!queue.empty() && !stopRequested &&
+           queue.nextTime() <= until) {
+        Time when = queue.nextTime();
+        currentTime = when;
+        queue.runNext();
+    }
+    if (!stopRequested)
+        currentTime = until;
+}
+
+} // namespace capy::sim

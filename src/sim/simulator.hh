@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The simulation clock and main loop. A Simulator owns an EventQueue
+ * and advances simulated time by executing events in order.
+ */
+
+#ifndef CAPY_SIM_SIMULATOR_HH
+#define CAPY_SIM_SIMULATOR_HH
+
+#include <functional>
+
+#include "sim/event.hh"
+
+namespace capy::sim
+{
+
+/**
+ * Event-driven simulation engine.
+ *
+ * Components schedule callbacks relative to the current time with
+ * schedule(), or at absolute times with scheduleAt(). run() executes
+ * events until the queue drains, a time limit is hit, or stop() is
+ * called from inside a callback.
+ */
+class Simulator
+{
+  public:
+    /** Current simulated time in seconds. */
+    Time now() const { return currentTime; }
+
+    /**
+     * Schedule @p fn to run @p delay seconds from now.
+     * @pre delay >= 0.
+     */
+    EventId schedule(Time delay, std::function<void()> fn);
+
+    /**
+     * Schedule @p fn at absolute time @p when.
+     * @pre when >= now().
+     */
+    EventId scheduleAt(Time when, std::function<void()> fn);
+
+    /** Cancel a pending event. @sa EventQueue::cancel */
+    bool cancel(EventId id) { return queue.cancel(id); }
+
+    /** @retval true if @p id refers to a still-pending event. */
+    bool isPending(EventId id) const { return queue.isPending(id); }
+
+    /** Run until the event queue drains or stop() is called. */
+    void run();
+
+    /**
+     * Run events with timestamps <= @p until, then set the clock to
+     * @p until. Events exactly at @p until do execute.
+     */
+    void runUntil(Time until);
+
+    /** Request that run()/runUntil() return after the current event. */
+    void stop() { stopRequested = true; }
+
+    /** Total events executed over the simulator's lifetime. */
+    std::uint64_t eventsExecuted() const { return queue.executed(); }
+
+    /** Number of pending (not cancelled) events. */
+    std::size_t pendingEvents() const { return queue.pending(); }
+
+  private:
+    EventQueue queue;
+    Time currentTime = 0.0;
+    bool stopRequested = false;
+};
+
+} // namespace capy::sim
+
+#endif // CAPY_SIM_SIMULATOR_HH

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the automatic bank allocator (the paper's §8 future work):
+ * volume-minimizing part selection, base-bank ordering, feasibility
+ * detection, and simulation-based verification of produced plans.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/allocate.hh"
+#include "dev/mcu.hh"
+#include "dev/radio.hh"
+#include "power/parts.hh"
+#include "sim/logging.hh"
+
+using namespace capy;
+using namespace capy::core;
+using namespace capy::power;
+
+namespace
+{
+
+std::vector<CapacitorSpec>
+fullCatalog()
+{
+    return parts::all();
+}
+
+ModeRequirement
+sampleMode()
+{
+    // ~10 ms sensing at board power.
+    return ModeRequirement{
+        .name = "sample",
+        .demand = TaskEnergy{23e-3, 15e-3},
+        .reactive = true,
+    };
+}
+
+ModeRequirement
+radioMode()
+{
+    // A BLE session at 20 mW.
+    return ModeRequirement{
+        .name = "radio",
+        .demand = TaskEnergy{20e-3, 0.91},
+        .reactive = false,
+    };
+}
+
+} // namespace
+
+TEST(Allocate, TwoModePlanIsFeasibleAndOrdered)
+{
+    PowerSystem::Spec spec;
+    auto plan = allocateBanks({radioMode(), sampleMode()}, spec,
+                              fullCatalog(), 8e-3);
+    ASSERT_TRUE(plan.feasible);
+    ASSERT_EQ(plan.banks.size(), 2u);
+    // The sample mode (least demanding) is the hard-wired base, no
+    // matter the input order.
+    EXPECT_FALSE(plan.banks[0].hardwired) << "radio is switched";
+    EXPECT_TRUE(plan.banks[1].hardwired) << "sample is the base";
+    EXPECT_GT(plan.banks[0].unitCount, 0);
+    EXPECT_GT(plan.banks[1].unitCount, 0);
+    EXPECT_GT(plan.totalVolume, 0.0);
+    EXPECT_DOUBLE_EQ(plan.totalSwitchArea, SwitchSpec{}.area);
+}
+
+TEST(Allocate, BaseCoversItsMode)
+{
+    PowerSystem::Spec spec;
+    auto plan = allocateBanks({sampleMode(), radioMode()}, spec,
+                              fullCatalog(), 8e-3);
+    ASSERT_TRUE(plan.feasible);
+    // The base bank's active capacitance suffices for the sample
+    // task: ~0.35 mJ needs well under a millifarad.
+    EXPECT_LT(plan.activeCapacitance(0),
+              plan.activeCapacitance(1));
+}
+
+TEST(Allocate, RadioModeGetsLargerCapacity)
+{
+    PowerSystem::Spec spec;
+    auto plan = allocateBanks({sampleMode(), radioMode()}, spec,
+                              fullCatalog(), 8e-3);
+    ASSERT_TRUE(plan.feasible);
+    // ~18 mJ of rail demand requires millifarads.
+    EXPECT_GT(plan.activeCapacitance(1), 2e-3);
+}
+
+TEST(Allocate, PrefersDenseEdlcForBigModes)
+{
+    PowerSystem::Spec spec;
+    auto plan = allocateBanks({sampleMode(), radioMode()}, spec,
+                              fullCatalog(), 8e-3);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.banks[1].unit.tech, CapTech::Edlc)
+        << "volume-minimizing choice for tens of mJ is an EDLC";
+}
+
+TEST(Allocate, CeramicOnlyCatalogStillWorksButBulkier)
+{
+    PowerSystem::Spec spec;
+    std::vector<CapacitorSpec> ceramic{parts::x5r100uF()};
+    auto full = allocateBanks({sampleMode(), radioMode()}, spec,
+                              fullCatalog(), 8e-3);
+    auto cer = allocateBanks({sampleMode(), radioMode()}, spec,
+                             ceramic, 8e-3);
+    ASSERT_TRUE(full.feasible);
+    ASSERT_TRUE(cer.feasible);
+    EXPECT_GT(cer.totalVolume, 3.0 * full.totalVolume)
+        << "ceramic-only storage pays a large volume penalty (Fig. 4)";
+}
+
+TEST(Allocate, InfeasibleDemandReported)
+{
+    PowerSystem::Spec spec;
+    ModeRequirement monster{
+        .name = "monster",
+        .demand = TaskEnergy{50e-3, 3600.0},  // 180 J: hopeless
+        .reactive = false,
+    };
+    auto plan = allocateBanks({monster}, spec,
+                              {parts::x5r100uF()}, 8e-3);
+    EXPECT_FALSE(plan.feasible);
+    EXPECT_TRUE(plan.banks.empty());
+}
+
+TEST(Allocate, DeratingGrowsTheBanks)
+{
+    PowerSystem::Spec spec;
+    auto lean = allocateBanks({sampleMode(), radioMode()}, spec,
+                              fullCatalog(), 8e-3, 1.0);
+    auto fat = allocateBanks({sampleMode(), radioMode()}, spec,
+                             fullCatalog(), 8e-3, 2.0);
+    ASSERT_TRUE(lean.feasible && fat.feasible);
+    EXPECT_GE(fat.activeCapacitance(1), lean.activeCapacitance(1));
+}
+
+TEST(Allocate, ChargeTimesOrderedByCapacity)
+{
+    PowerSystem::Spec spec;
+    auto plan = allocateBanks({sampleMode(), radioMode()}, spec,
+                              fullCatalog(), 8e-3);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_LT(plan.banks[0].chargeTime, plan.banks[1].chargeTime)
+        << "the reactive base mode recharges faster than the radio "
+           "mode";
+}
+
+TEST(Allocate, VerificationPassesForProducedPlan)
+{
+    setQuiet(true);
+    PowerSystem::Spec spec;
+    std::vector<ModeRequirement> modes{sampleMode(), radioMode()};
+    auto plan = allocateBanks(modes, spec, fullCatalog(), 8e-3);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_TRUE(verifyAllocation(plan, modes, spec, 8e-3));
+    setQuiet(false);
+}
+
+TEST(Allocate, VerificationCatchesUndersizedPlan)
+{
+    setQuiet(true);
+    PowerSystem::Spec spec;
+    std::vector<ModeRequirement> modes{sampleMode(), radioMode()};
+    auto plan = allocateBanks(modes, spec, fullCatalog(), 8e-3);
+    ASSERT_TRUE(plan.feasible);
+    // Sabotage: shrink every bank to a single 100 uF tantalum — far
+    // too little for the ~18 mJ radio session.
+    for (auto &b : plan.banks) {
+        b.unit = parts::tant100uF();
+        b.unitCount = 1;
+        b.composition = parts::tant100uF();
+    }
+    EXPECT_FALSE(verifyAllocation(plan, modes, spec, 8e-3));
+    setQuiet(false);
+}
+
+TEST(Allocate, ThreeModeChainAllocates)
+{
+    PowerSystem::Spec spec;
+    ModeRequirement mid{
+        .name = "gesture",
+        .demand = TaskEnergy{25e-3, 0.27},
+        .reactive = true,
+    };
+    std::vector<ModeRequirement> modes{radioMode(), mid, sampleMode()};
+    auto plan = allocateBanks(modes, spec, fullCatalog(), 8e-3);
+    ASSERT_TRUE(plan.feasible);
+    ASSERT_EQ(plan.banks.size(), 3u);
+    int hardwired = 0;
+    for (const auto &b : plan.banks)
+        hardwired += b.hardwired;
+    EXPECT_EQ(hardwired, 1);
+    // Demands ordered: sample < gesture < radio active capacitance.
+    EXPECT_LT(plan.activeCapacitance(2), plan.activeCapacitance(1));
+    EXPECT_LE(plan.activeCapacitance(1), plan.activeCapacitance(0));
+}
+
+TEST(Allocate, ModeCoveredByBaseNeedsNoBank)
+{
+    PowerSystem::Spec spec;
+    // Two nearly identical tiny modes: the second should ride on the
+    // base bank with no dedicated capacitors.
+    ModeRequirement a = sampleMode();
+    ModeRequirement b = sampleMode();
+    b.name = "sample2";
+    b.demand.duration *= 0.5;
+    auto plan = allocateBanks({a, b}, spec, fullCatalog(), 8e-3);
+    ASSERT_TRUE(plan.feasible);
+    const BankPlan &second =
+        plan.banks[0].hardwired ? plan.banks[1] : plan.banks[0];
+    EXPECT_EQ(second.unitCount, 0)
+        << "a mode covered by the base gets no dedicated bank";
+    EXPECT_DOUBLE_EQ(plan.totalSwitchArea, 0.0);
+}

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the checkpoint-based intermittent kernel and the
+ * trace-replay harvester.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "power/parts.hh"
+#include "power/power_system.hh"
+#include "power/solver.hh"
+#include "rt/checkpoint.hh"
+#include "rt/kernel.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+using namespace capy;
+using namespace capy::dev;
+using namespace capy::power;
+using namespace capy::rt;
+
+namespace
+{
+
+struct CkptRig
+{
+    sim::Simulator sim;
+    std::unique_ptr<Device> device;
+
+    explicit CkptRig(CapacitorSpec bank, double harvest_mw = 10.0)
+    {
+        PowerSystem::Spec spec;
+        auto ps = std::make_unique<PowerSystem>(
+            spec,
+            std::make_unique<RegulatedSupply>(harvest_mw * 1e-3, 3.3));
+        ps->addBank("b", bank);
+        device = std::make_unique<Device>(
+            sim, std::move(ps), msp430fr5969(),
+            Device::PowerMode::Intermittent);
+    }
+};
+
+} // namespace
+
+TEST(Checkpoint, ShortWorkCompletesInOneSlice)
+{
+    CkptRig rig(parts::edlc7_5mF());
+    bool complete = false;
+    CheckpointKernel k(*rig.device, CheckpointKernel::Spec{}, 0.05,
+                       0.0, [&] { complete = true; });
+    k.start();
+    rig.sim.runUntil(60.0);
+    EXPECT_TRUE(complete);
+    EXPECT_EQ(k.stats().checkpoints, 1u) << "final commit only";
+    EXPECT_EQ(k.stats().restores, 0u);
+    EXPECT_NEAR(k.progress(), 0.05, 1e-12);
+}
+
+TEST(Checkpoint, LongWorkSpansManyPowerCycles)
+{
+    // 5 s of compute on a bank holding ~1.3 s worth: needs several
+    // charge cycles, each ending in a checkpoint.
+    CkptRig rig(parts::edlc7_5mF());
+    bool complete = false;
+    CheckpointKernel k(*rig.device, CheckpointKernel::Spec{}, 5.0, 0.0,
+                       [&] { complete = true; });
+    k.start();
+    rig.sim.runUntil(600.0);
+    EXPECT_TRUE(complete);
+    EXPECT_GE(k.stats().checkpoints, 3u);
+    EXPECT_GE(k.stats().restores, 2u);
+    EXPECT_NEAR(k.progress(), 5.0, 1e-9);
+    EXPECT_EQ(rig.device->stats().powerFailures, 0u)
+        << "the LVI threshold preempts brown-outs";
+}
+
+TEST(Checkpoint, ProgressWhereAtomicTaskIsInfeasible)
+{
+    // The same 5 s workload as a single Chain task can never complete
+    // on this bank — the checkpointing kernel finishes it.
+    CkptRig chain_rig(parts::edlc7_5mF());
+    rt::App app;
+    bool task_done = false;
+    app.addTask("big", 5.0, 0.0, [&](Kernel &) -> const Task * {
+        task_done = true;
+        return nullptr;
+    });
+    Kernel chain(*chain_rig.device, app);
+    chain.start();
+    chain_rig.sim.runUntil(600.0);
+    EXPECT_FALSE(task_done) << "atomic task exceeds the bank";
+    EXPECT_GT(chain.stats().taskRestarts, 5u);
+
+    CkptRig ckpt_rig(parts::edlc7_5mF());
+    bool complete = false;
+    CheckpointKernel k(*ckpt_rig.device, CheckpointKernel::Spec{}, 5.0,
+                       0.0, [&] { complete = true; });
+    k.start();
+    ckpt_rig.sim.runUntil(600.0);
+    EXPECT_TRUE(complete);
+}
+
+TEST(Checkpoint, OverheadAccounted)
+{
+    CkptRig rig(parts::edlc7_5mF());
+    CheckpointKernel::Spec spec;
+    bool complete = false;
+    CheckpointKernel k(*rig.device, spec, 3.0, 0.0,
+                       [&] { complete = true; });
+    k.start();
+    rig.sim.runUntil(600.0);
+    ASSERT_TRUE(complete);
+    double expected =
+        double(k.stats().checkpoints) * spec.checkpointTime +
+        double(k.stats().restores) * spec.restoreTime;
+    EXPECT_NEAR(k.stats().overheadTime, expected, 1e-9);
+}
+
+TEST(Checkpoint, InsufficientHeadroomLosesWork)
+{
+    // With (near) zero headroom the checkpoint write itself browns
+    // out; the kernel keeps losing the in-flight slice.
+    CkptRig rig(parts::x5r100uF().parallel(4));
+    CheckpointKernel::Spec spec;
+    spec.voltageHeadroom = 1e-4;
+    spec.checkpointTime = 30e-3;  // expensive write
+    bool complete = false;
+    CheckpointKernel k(*rig.device, spec, 2.0, 0.0,
+                       [&] { complete = true; });
+    k.start();
+    rig.sim.runUntil(120.0);
+    EXPECT_GT(k.stats().lostWork, 0.0);
+    EXPECT_GT(rig.device->stats().powerFailures, 0u);
+    (void)complete;
+}
+
+TEST(Checkpoint, SmallBankPaysMoreOverhead)
+{
+    auto run = [](CapacitorSpec bank) {
+        CkptRig rig(bank);
+        bool complete = false;
+        CheckpointKernel k(*rig.device, CheckpointKernel::Spec{}, 2.0,
+                           0.0, [&] { complete = true; });
+        k.start();
+        rig.sim.runUntil(3600.0);
+        EXPECT_TRUE(complete);
+        return k.stats().checkpoints;
+    };
+    auto small = run(parts::x5r100uF().parallel(8));
+    auto large = run(parts::edlc7_5mF().parallel(4));
+    EXPECT_GT(small, 3 * large)
+        << "smaller buffers checkpoint far more often";
+}
+
+TEST(TraceHarvester, StepPlaybackAndBoundaries)
+{
+    TraceHarvester h({{0.0, 1e-3}, {10.0, 5e-3}, {20.0, 0.0}}, 3.3,
+                     false);
+    EXPECT_DOUBLE_EQ(h.power(0.0), 1e-3);
+    EXPECT_DOUBLE_EQ(h.power(9.99), 1e-3);
+    EXPECT_DOUBLE_EQ(h.power(10.0), 5e-3);
+    EXPECT_DOUBLE_EQ(h.power(19.0), 5e-3);
+    EXPECT_DOUBLE_EQ(h.power(21.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.power(1000.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.nextChange(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.nextChange(10.0), 20.0);
+    EXPECT_DOUBLE_EQ(h.voltage(5.0), 3.3);
+}
+
+TEST(TraceHarvester, LoopingRepeatsTrace)
+{
+    TraceHarvester h({{0.0, 2e-3}, {5.0, 8e-3}}, 3.3, true);
+    double span = h.traceSpan();
+    EXPECT_DOUBLE_EQ(span, 10.0);  // 5.0 + mean step 5.0
+    EXPECT_DOUBLE_EQ(h.power(1.0), 2e-3);
+    EXPECT_DOUBLE_EQ(h.power(6.0), 8e-3);
+    EXPECT_DOUBLE_EQ(h.power(span + 1.0), 2e-3);
+    EXPECT_DOUBLE_EQ(h.power(span + 6.0), 8e-3);
+    // Boundaries advance across loop iterations.
+    double b = h.nextChange(span + 1.0);
+    EXPECT_NEAR(b, span + 5.0, 1e-9);
+}
+
+TEST(TraceHarvester, DrivesPowerSystem)
+{
+    PowerSystem::Spec spec;
+    // 30 s of darkness, then strong light.
+    PowerSystem ps(spec,
+                   std::make_unique<TraceHarvester>(
+                       TraceHarvester({{0.0, 0.0}, {30.0, 10e-3}}, 3.3,
+                                      false)));
+    ps.addBank("b", parts::x5r100uF().parallel(4));
+    sim::Time t_full = ps.timeToFull();
+    ASSERT_TRUE(std::isfinite(t_full));
+    EXPECT_GT(t_full, 30.0) << "nothing charges during darkness";
+    ps.advanceTo(29.9);
+    EXPECT_LT(ps.storageVoltage(), 0.05);
+    ps.advanceTo(t_full + 0.1);
+    EXPECT_TRUE(ps.isFull());
+}
+
+TEST(TraceHarvester, SingleSampleTrace)
+{
+    TraceHarvester h({{0.0, 4e-3}}, 3.3, true);
+    EXPECT_DOUBLE_EQ(h.power(0.0), 4e-3);
+    EXPECT_DOUBLE_EQ(h.power(123.0), 4e-3);
+}

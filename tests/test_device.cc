@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Tests for the Device layer: intermittent boot cycles, workload
+ * brown-outs, voluntary power-down, continuous mode, and peripheral/
+ * radio/NV-memory models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "dev/device.hh"
+#include "dev/nvmem.hh"
+#include "dev/peripheral.hh"
+#include "dev/radio.hh"
+#include "power/parts.hh"
+#include "power/units.hh"
+#include "sim/simulator.hh"
+
+using namespace capy;
+using namespace capy::dev;
+using namespace capy::power;
+
+namespace
+{
+
+std::unique_ptr<PowerSystem>
+smallBankSystem(double harvest_mw = 10.0)
+{
+    PowerSystem::Spec spec;
+    auto ps = std::make_unique<PowerSystem>(
+        spec,
+        std::make_unique<RegulatedSupply>(harvest_mw * 1e-3, 3.3));
+    ps->addBank("base", parts::x5r100uF().parallel(4));
+    return ps;
+}
+
+} // namespace
+
+TEST(Device, BootsWhenBufferFull)
+{
+    sim::Simulator s;
+    Device d(s, smallBankSystem(), msp430fr5969(),
+             Device::PowerMode::Intermittent);
+    bool booted = false;
+    double boot_time = -1;
+    d.setHooks({.onBoot =
+                    [&] {
+                        booted = true;
+                        boot_time = s.now();
+                    },
+                .onPowerFail = nullptr});
+    d.start();
+    s.runUntil(10.0);
+    EXPECT_TRUE(booted);
+    EXPECT_GT(boot_time, 0.0);
+    EXPECT_EQ(d.stats().boots, 1u);
+    EXPECT_TRUE(d.isOn());
+}
+
+TEST(Device, WorkloadCompletesWithinEnergy)
+{
+    sim::Simulator s;
+    Device d(s, smallBankSystem(), msp430fr5969(),
+             Device::PowerMode::Intermittent);
+    bool done = false;
+    d.setHooks({.onBoot =
+                    [&] {
+                        // 730 uF-class bank: a few ms of compute fits.
+                        d.runWorkload(8.4e-3, 2e-3,
+                                      [&] { done = true; });
+                    },
+                .onPowerFail = nullptr});
+    d.start();
+    s.runUntil(20.0);
+    EXPECT_TRUE(done);
+    EXPECT_EQ(d.stats().workloadsCompleted, 1u);
+    EXPECT_EQ(d.stats().powerFailures, 0u);
+}
+
+TEST(Device, OversizedWorkloadBrownsOutAndRetries)
+{
+    sim::Simulator s;
+    Device d(s, smallBankSystem(), msp430fr5969(),
+             Device::PowerMode::Intermittent);
+    int boots = 0;
+    int fails = 0;
+    d.setHooks({.onBoot =
+                    [&] {
+                        ++boots;
+                        // Far more energy than the small bank stores.
+                        d.runWorkload(20e-3, 10.0, [] {});
+                    },
+                .onPowerFail = [&] { ++fails; }});
+    d.start();
+    s.runUntil(30.0);
+    EXPECT_GE(boots, 2) << "device must recharge and retry";
+    EXPECT_GE(fails, 2);
+    EXPECT_EQ(d.stats().workloadsCompleted, 0u);
+    EXPECT_GE(d.stats().workloadsAborted, 2u);
+}
+
+TEST(Device, PowerDownRechargesAndReboots)
+{
+    sim::Simulator s;
+    Device d(s, smallBankSystem(), msp430fr5969(),
+             Device::PowerMode::Intermittent);
+    int boots = 0;
+    d.setHooks({.onBoot =
+                    [&] {
+                        ++boots;
+                        if (boots == 1)
+                            d.runWorkload(8.4e-3, 1e-3,
+                                          [&] { d.powerDown(); });
+                    },
+                .onPowerFail = nullptr});
+    d.start();
+    s.runUntil(30.0);
+    EXPECT_EQ(boots, 2);
+    EXPECT_EQ(d.stats().powerFailures, 0u);
+}
+
+TEST(Device, ContinuousModeNeverFails)
+{
+    sim::Simulator s;
+    Device d(s, smallBankSystem(0.0), msp430fr5969(),
+             Device::PowerMode::Continuous);
+    int completions = 0;
+    std::function<void()> loop = [&] {
+        if (++completions < 100)
+            d.runWorkload(50e-3, 0.1, loop);
+    };
+    d.setHooks({.onBoot = [&] { d.runWorkload(50e-3, 0.1, loop); },
+                .onPowerFail = nullptr});
+    d.start();
+    s.runUntil(60.0);
+    EXPECT_EQ(completions, 100);
+    EXPECT_EQ(d.stats().powerFailures, 0u);
+}
+
+TEST(Device, ContinuousBootIsFast)
+{
+    sim::Simulator s;
+    Device d(s, smallBankSystem(0.0), msp430fr5969(),
+             Device::PowerMode::Continuous);
+    double boot_at = -1;
+    d.setHooks({.onBoot = [&] { boot_at = s.now(); },
+                .onPowerFail = nullptr});
+    d.start();
+    s.run();
+    EXPECT_NEAR(boot_at, msp430fr5969().bootTime, 1e-12);
+}
+
+TEST(Device, ChargingTimeTracked)
+{
+    sim::Simulator s;
+    Device d(s, smallBankSystem(), msp430fr5969(),
+             Device::PowerMode::Intermittent);
+    int boots = 0;
+    d.setHooks({.onBoot =
+                    [&] {
+                        if (++boots == 1)
+                            d.runWorkload(8.4e-3, 1e-3,
+                                          [&] { d.powerDown(); });
+                    },
+                .onPowerFail = nullptr});
+    d.start();
+    s.runUntil(10.0);
+    EXPECT_GT(d.stats().timeCharging, 0.0);
+    EXPECT_GT(d.stats().timeOn, 0.0);
+    // Spans recorded for charging and on periods.
+    EXPECT_GE(d.spans().countFor("charging"), 1u);
+}
+
+TEST(Device, UnharvestableDeviceStaysOff)
+{
+    sim::Simulator s;
+    PowerSystem::Spec spec;
+    spec.input.bypassEnabled = false;
+    spec.systemQuiescentPower = 100e-6;
+    auto ps = std::make_unique<PowerSystem>(
+        spec, std::make_unique<RegulatedSupply>(50e-6, 3.3));
+    ps->addBank("b", parts::edlc7_5mF());
+    capy::setQuiet(true);
+    Device d(s, std::move(ps), msp430fr5969(),
+             Device::PowerMode::Intermittent);
+    bool booted = false;
+    d.setHooks({.onBoot = [&] { booted = true; },
+                .onPowerFail = nullptr});
+    d.start();
+    s.runUntil(1000.0);
+    capy::setQuiet(false);
+    EXPECT_FALSE(booted);
+}
+
+TEST(Device, BigBankBootsSlowerThanSmall)
+{
+    auto boot_time = [](CapacitorSpec cap) {
+        sim::Simulator s;
+        PowerSystem::Spec spec;
+        auto ps = std::make_unique<PowerSystem>(
+            spec, std::make_unique<RegulatedSupply>(10e-3, 3.3));
+        ps->addBank("b", cap);
+        Device d(s, std::move(ps), msp430fr5969(),
+                 Device::PowerMode::Intermittent);
+        double at = -1;
+        d.setHooks(
+            {.onBoot = [&] { at = s.now(); }, .onPowerFail = nullptr});
+        d.start();
+        s.runUntil(2000.0);
+        return at;
+    };
+    double small = boot_time(parts::x5r100uF().parallel(4));
+    double large = boot_time(parts::edlc7_5mF().parallel(9));
+    ASSERT_GT(small, 0.0);
+    ASSERT_GT(large, 0.0);
+    EXPECT_GT(large, 20.0 * small);
+}
+
+TEST(Peripherals, CatalogSane)
+{
+    auto specs = {periph::apds9960Gesture(), periph::tmp36(),
+                  periph::magnetometer(), periph::led(),
+                  periph::phototransistor(), periph::accelerometer(),
+                  periph::gyroscope(), periph::apds9960Proximity()};
+    for (const auto &p : specs) {
+        EXPECT_FALSE(p.name.empty());
+        EXPECT_GT(p.activePower, 0.0) << p.name;
+        EXPECT_GE(p.warmupTime, 0.0) << p.name;
+    }
+}
+
+TEST(Peripherals, GestureWindowMatchesPaper)
+{
+    // §6.1.1: minimum gesture duration is 250 ms.
+    EXPECT_DOUBLE_EQ(periph::apds9960Gesture().minActiveTime, 0.25);
+}
+
+TEST(Peripherals, PowerAggregation)
+{
+    std::vector<PeripheralSpec> set{periph::tmp36(), periph::led()};
+    EXPECT_NEAR(totalActivePower(set), 180e-6 + 5e-3, 1e-12);
+    EXPECT_DOUBLE_EQ(maxWarmup(set), periph::tmp36().warmupTime);
+}
+
+TEST(Peripherals, SensorReadsSourceAndCounts)
+{
+    Sensor s(periph::tmp36(), [](sim::Time t) { return 20.0 + t; });
+    EXPECT_DOUBLE_EQ(s.read(5.0), 25.0);
+    EXPECT_DOUBLE_EQ(s.read(7.0), 27.0);
+    EXPECT_EQ(s.samplesTaken(), 2u);
+}
+
+TEST(Radio, BleTimingMatchesPaper)
+{
+    // §2: a 25-byte BLE packet occupies the air for ~35 ms; the
+    // atomic session adds the radio power-up and stack init.
+    EXPECT_NEAR(airTime(bleRadio(), 25), 35e-3, 1e-9);
+    EXPECT_LT(airTime(bleRadio(), 8), airTime(bleRadio(), 25));
+    EXPECT_NEAR(txDuration(bleRadio(), 25),
+                bleRadio().startupDuration + 35e-3, 1e-9);
+}
+
+TEST(Radio, KicksatFixedFrame)
+{
+    // §6.6: 250 ms on air per 1-byte packet regardless of payload.
+    EXPECT_DOUBLE_EQ(airTime(kicksatRadio(), 1), 0.25);
+    EXPECT_DOUBLE_EQ(airTime(kicksatRadio(), 4), 0.25);
+}
+
+TEST(Radio, LossRateApproximatelyRespected)
+{
+    Radio r(bleRadio());
+    sim::Rng rng(99);
+    int delivered = 0;
+    for (int i = 0; i < 10000; ++i)
+        delivered += r.attemptDelivery(rng);
+    EXPECT_EQ(r.packetsSent(), 10000u);
+    EXPECT_NEAR(double(r.packetsLost()) / 10000.0, 0.02, 0.01);
+    EXPECT_EQ(delivered + int(r.packetsLost()), 10000);
+}
+
+TEST(NvMemory, CellSurvivesAndCounts)
+{
+    NvMemory mem("fram");
+    NvCell<int> cell(&mem, 7);
+    EXPECT_EQ(cell.get(), 7);
+    cell.set(42);
+    EXPECT_EQ(cell.get(), 42);
+    EXPECT_EQ(mem.writes(), 1u);
+    EXPECT_EQ(mem.reads(), 2u);
+    EXPECT_EQ(cell.writeCount(), 1u);
+}
+
+TEST(NvMemory, EnduranceWarning)
+{
+    capy::setQuiet(true);
+    NvMemory mem("eeprom", 3);
+    NvCell<int> cell(&mem);
+    for (int i = 0; i < 5; ++i)
+        cell.set(i);
+    EXPECT_TRUE(mem.wornOut());
+    capy::setQuiet(false);
+}
+
+TEST(Mcu, SpecsDerivedQuantities)
+{
+    McuSpec m = msp430fr5969();
+    // Fig. 3 calibration: ~8.5 nJ per effective operation.
+    EXPECT_NEAR(m.energyPerOp(), 8.5e-9, 0.5e-9);
+    EXPECT_DOUBLE_EQ(m.timeForOps(m.opRate), 1.0);
+    EXPECT_GT(m.activePower, m.sleepPower);
+}

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the environment layer: event schedules, the pendulum and
+ * thermal rigs, light sources, and the detection scoreboard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "env/events.hh"
+#include "env/light.hh"
+#include "env/pendulum.hh"
+#include "env/scoring.hh"
+#include "env/thermal.hh"
+
+using namespace capy;
+using namespace capy::env;
+
+TEST(EventSchedule, SortsAndIdsEvents)
+{
+    EventSchedule s({5.0, 1.0, 3.0});
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.at(0).time, 1.0);
+    EXPECT_DOUBLE_EQ(s.at(2).time, 5.0);
+    EXPECT_EQ(s.at(1).id, 1);
+    EXPECT_DOUBLE_EQ(s.lastTime(), 5.0);
+}
+
+TEST(EventSchedule, PoissonCountExact)
+{
+    sim::Rng rng(5);
+    EventSchedule s = EventSchedule::poissonCount(rng, 50, 7200.0);
+    EXPECT_EQ(s.size(), 50u);
+    EXPECT_LT(s.lastTime(), 7200.0);
+    EXPECT_GT(s.at(0).time, 0.0);
+}
+
+TEST(EventSchedule, EventCoveringWindows)
+{
+    EventSchedule s({10.0, 20.0});
+    // Window [9.8, 10.2) overlaps event 0's span [10, 10.6).
+    EXPECT_EQ(s.eventCovering(9.8, 0.4, 0.6), 0);
+    // Instantaneous query inside the span.
+    EXPECT_EQ(s.eventCovering(10.3, 0.0, 0.6), 0);
+    // After the span ends.
+    EXPECT_EQ(s.eventCovering(10.7, 0.1, 0.6), -1);
+    EXPECT_EQ(s.eventCovering(19.99, 0.1, 0.6), 1);
+    EXPECT_EQ(s.eventCovering(5.0, 1.0, 0.6), -1);
+}
+
+TEST(EventSchedule, EventsBetween)
+{
+    EventSchedule s({10.0, 20.0, 30.0});
+    auto ids = s.eventsBetween(15.0, 35.0);
+    EXPECT_EQ(ids, (std::vector<int>{1, 2}));
+    EXPECT_TRUE(s.eventsBetween(31.0, 40.0).empty());
+}
+
+TEST(Pendulum, ProximityDuringSwingOnly)
+{
+    EventSchedule s({100.0});
+    Pendulum p(s);
+    EXPECT_FALSE(p.objectPresent(99.9));
+    EXPECT_TRUE(p.objectPresent(100.1));
+    EXPECT_TRUE(p.objectPresent(100.5));
+    EXPECT_FALSE(p.objectPresent(100.7));
+    EXPECT_EQ(p.eventAt(100.3), 0);
+    EXPECT_EQ(p.eventAt(99.0), -1);
+}
+
+TEST(Pendulum, FieldElevatedDuringSwing)
+{
+    EventSchedule s({50.0});
+    Pendulum p(s);
+    EXPECT_GT(p.fieldStrength(50.2), 0.5);
+    EXPECT_LT(p.fieldStrength(40.0), 0.2);
+}
+
+TEST(Pendulum, EarlyWindowDecodes)
+{
+    EventSchedule s({100.0});
+    Pendulum::Spec spec;
+    spec.pDecodeFail = 0.0;
+    spec.pMisclassify = 0.0;
+    Pendulum p(s, spec);
+    sim::Rng rng(1);
+    int id = -2;
+    auto r = p.senseGesture(100.05, 0.25, rng, &id);
+    EXPECT_EQ(r, Pendulum::GestureResult::Decoded);
+    EXPECT_EQ(id, 0);
+}
+
+TEST(Pendulum, LateWindowMisclassifies)
+{
+    EventSchedule s({100.0});
+    Pendulum::Spec spec;
+    spec.pDecodeFail = 0.0;
+    spec.pMisclassify = 0.0;
+    Pendulum p(s, spec);
+    sim::Rng rng(1);
+    int id = -2;
+    auto r = p.senseGesture(100.4, 0.25, rng, &id);
+    EXPECT_EQ(r, Pendulum::GestureResult::Misclassified);
+    EXPECT_EQ(id, 0);
+}
+
+TEST(Pendulum, NoOverlapNoGesture)
+{
+    EventSchedule s({100.0});
+    Pendulum p(s);
+    sim::Rng rng(1);
+    int id = -2;
+    auto r = p.senseGesture(200.0, 0.25, rng, &id);
+    EXPECT_EQ(r, Pendulum::GestureResult::NoGesture);
+    EXPECT_EQ(id, -1);
+}
+
+TEST(Pendulum, InherentImperfectionRates)
+{
+    // With many events, the decode-failure and misclassification
+    // rates should approximate the configured probabilities.
+    std::vector<sim::Time> times;
+    for (int i = 0; i < 2000; ++i)
+        times.push_back(10.0 * i);
+    EventSchedule s(times);
+    Pendulum p(s);
+    sim::Rng rng(77);
+    int decoded = 0, mis = 0, none = 0;
+    for (int i = 0; i < 2000; ++i) {
+        auto r = p.senseGesture(10.0 * i + 0.05, 0.25, rng, nullptr);
+        decoded += r == Pendulum::GestureResult::Decoded;
+        mis += r == Pendulum::GestureResult::Misclassified;
+        none += r == Pendulum::GestureResult::NoGesture;
+    }
+    EXPECT_NEAR(none / 2000.0, 0.05, 0.02);
+    EXPECT_NEAR(mis / 2000.0, 0.03 * 0.95, 0.02);
+    EXPECT_GT(decoded, 1800);
+}
+
+TEST(ThermalRig, InBandBetweenEvents)
+{
+    EventSchedule s({1000.0});
+    ThermalRig rig(s);
+    for (double t = 0.0; t < 900.0; t += 37.0) {
+        EXPECT_FALSE(rig.outOfRange(t)) << "t=" << t;
+        EXPECT_GT(rig.temperature(t), rig.spec().bandLo);
+        EXPECT_LT(rig.temperature(t), rig.spec().bandHi);
+    }
+}
+
+TEST(ThermalRig, ExcursionLeavesBand)
+{
+    EventSchedule s({1000.0});
+    ThermalRig rig(s);
+    // Mid-excursion: at the peak hold.
+    double mid = 1000.0 + rig.spec().rampTime +
+                 rig.spec().holdTime / 2.0;
+    EXPECT_TRUE(rig.outOfRange(mid));
+    EXPECT_NEAR(rig.temperature(mid), rig.spec().peakTemp, 1e-9);
+    EXPECT_EQ(rig.alarmEventAt(mid), 0);
+    // After the excursion.
+    EXPECT_FALSE(rig.outOfRange(1000.0 + rig.excursionDuration() + 1));
+}
+
+TEST(ThermalRig, OutOfRangeDurationConsistent)
+{
+    EventSchedule s({1000.0});
+    ThermalRig rig(s);
+    double dur = rig.outOfRangeDuration();
+    EXPECT_GT(dur, rig.spec().holdTime);
+    EXPECT_LT(dur, rig.excursionDuration());
+    // Sampled check: count out-of-range time numerically.
+    double counted = 0.0, dt = 0.01;
+    for (double t = 995.0; t < 1035.0; t += dt)
+        counted += rig.outOfRange(t) ? dt : 0.0;
+    EXPECT_NEAR(counted, dur, 0.1);
+}
+
+TEST(Light, PwmHalogenConstantFraction)
+{
+    PwmHalogen h(0.42);
+    auto f = h.illumination();
+    EXPECT_DOUBLE_EQ(f(0.0), 0.42);
+    EXPECT_DOUBLE_EQ(f(1e6), 0.42);
+}
+
+TEST(Light, OrbitSunlitAndEclipse)
+{
+    OrbitLight orbit;
+    double lit = orbit.spec().orbitPeriod - orbit.spec().eclipseDuration;
+    EXPECT_TRUE(orbit.sunlit(lit * 0.5));
+    EXPECT_FALSE(orbit.sunlit(lit + 1.0));
+    // Next orbit repeats.
+    EXPECT_TRUE(orbit.sunlit(orbit.spec().orbitPeriod + lit * 0.5));
+    auto f = orbit.illumination();
+    EXPECT_DOUBLE_EQ(f(lit * 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(f(lit + 1.0), 0.0);
+}
+
+TEST(Scoreboard, DefaultsToMissed)
+{
+    EventSchedule s({1.0, 2.0});
+    Scoreboard sb(s);
+    auto sum = sb.summarize();
+    EXPECT_EQ(sum.total, 2u);
+    EXPECT_EQ(sum.missed, 2u);
+    EXPECT_DOUBLE_EQ(sum.fracCorrect, 0.0);
+}
+
+TEST(Scoreboard, MonotoneUpgrades)
+{
+    EventSchedule s({10.0});
+    Scoreboard sb(s);
+    sb.recordDetection(0);
+    EXPECT_EQ(sb.outcome(0), Outcome::ProximityOnly);
+    sb.recordMisclassified(0);
+    EXPECT_EQ(sb.outcome(0), Outcome::Misclassified);
+    sb.recordReport(0, 12.5);
+    EXPECT_EQ(sb.outcome(0), Outcome::Correct);
+    // Downgrades are ignored.
+    sb.recordDetection(0);
+    sb.recordMisclassified(0);
+    EXPECT_EQ(sb.outcome(0), Outcome::Correct);
+    auto sum = sb.summarize();
+    EXPECT_EQ(sum.correct, 1u);
+    EXPECT_NEAR(sum.latency.mean(), 2.5, 1e-12);
+}
+
+TEST(Scoreboard, InvalidIdsIgnored)
+{
+    EventSchedule s({10.0});
+    Scoreboard sb(s);
+    sb.recordDetection(-1);
+    sb.recordReport(7, 1.0);
+    EXPECT_EQ(sb.summarize().missed, 1u);
+}
+
+TEST(Scoreboard, SampleIntervalClassification)
+{
+    EventSchedule s({10.0, 100.0});
+    Scoreboard sb(s);
+    sb.recordSample(0.5);
+    sb.recordSample(0.8);    // back-to-back
+    sb.recordSample(50.0);   // contains event 0 (missed)
+    sb.recordReport(1, 101.0);
+    sb.recordSample(150.0);  // contains event 1 (correct)
+    auto ivs = sb.sampleIntervals(1.0);
+    ASSERT_EQ(ivs.size(), 3u);
+    EXPECT_TRUE(ivs[0].backToBack);
+    EXPECT_FALSE(ivs[1].backToBack);
+    EXPECT_TRUE(ivs[1].containsMissed);
+    EXPECT_FALSE(ivs[2].containsMissed);
+}
+
+TEST(Scoreboard, OutcomeNames)
+{
+    EXPECT_STREQ(outcomeName(Outcome::Correct), "correct");
+    EXPECT_STREQ(outcomeName(Outcome::Missed), "missed");
+    EXPECT_STREQ(outcomeName(Outcome::ProximityOnly), "proximity-only");
+    EXPECT_STREQ(outcomeName(Outcome::Misclassified), "misclassified");
+}

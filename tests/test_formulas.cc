@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Parameterized sweeps over the analytic formulas that anchor the
+ * power model: booster droop floors, usable-energy windows, latch
+ * retention scaling, and provisioning arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/provision.hh"
+#include "power/bankswitch.hh"
+#include "power/booster.hh"
+#include "power/parts.hh"
+#include "power/units.hh"
+
+using namespace capy;
+using namespace capy::power;
+
+/** Droop floor: V* solves V - (P_in/V) ESR = Vmin exactly. */
+class DroopSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{};
+
+TEST_P(DroopSweep, QuadraticRootSatisfiesEquation)
+{
+    auto [load, esr] = GetParam();
+    OutputBoosterSpec out;
+    double v = brownoutVoltage(out, load, esr);
+    double p_in = storageDrawPower(out, load);
+    EXPECT_NEAR(v - (p_in / v) * esr, out.minInputRun, 1e-9)
+        << "load=" << load << " esr=" << esr;
+    EXPECT_GE(v, out.minInputRun);
+    // Monotonicity in both arguments.
+    EXPECT_GE(brownoutVoltage(out, load * 2.0, esr), v);
+    EXPECT_GE(brownoutVoltage(out, load, esr * 2.0), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DroopSweep,
+    ::testing::Combine(::testing::Values(1e-3, 8e-3, 30e-3, 90e-3),
+                       ::testing::Values(0.01, 1.0, 25.0, 160.0)));
+
+/** Latch retention: R C ln(Vfull/Vth) scales linearly in R and C. */
+class RetentionSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(RetentionSweep, ScalesWithRc)
+{
+    double scale = GetParam();
+    SwitchSpec base;
+    SwitchSpec big = base;
+    big.latchCapacitance *= scale;
+    BankSwitch a(base), b(big);
+    EXPECT_NEAR(b.retentionTime(), scale * a.retentionTime(),
+                1e-9 * b.retentionTime());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, RetentionSweep,
+                         ::testing::Values(0.5, 2.0, 4.7, 10.0));
+
+/** requiredCapacitance: the produced bank's usable window actually
+ *  covers the demand, across a demand grid. */
+class ProvisionSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{};
+
+TEST_P(ProvisionSweep, ProducedCapacitanceCoversDemand)
+{
+    auto [power_w, duration] = GetParam();
+    PowerSystem::Spec spec;
+    core::TaskEnergy demand{power_w, duration};
+    double c = core::requiredCapacitance(demand, spec,
+                                         parts::x5r100uF(), 1.0);
+    ASSERT_GT(c, 0.0);
+    // Check: stored window energy at that capacitance >= storage-side
+    // demand.
+    double units = std::max(1.0, c / parts::x5r100uF().capacitance);
+    double esr = parts::x5r100uF().esr / units;
+    double vtop = spec.maxStorageVoltage;
+    double v_bo = brownoutVoltage(spec.output, power_w, esr);
+    double stored = 0.5 * c * (vtop * vtop - v_bo * v_bo);
+    double needed =
+        storageDrawPower(spec.output, power_w) * duration;
+    EXPECT_GE(stored, needed * 0.999)
+        << "P=" << power_w << " d=" << duration;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProvisionSweep,
+    ::testing::Combine(::testing::Values(2e-3, 10e-3, 25e-3),
+                       ::testing::Values(5e-3, 0.1, 1.0)));
+
+TEST(Formulas, UsableWindowGrowsWithTopVoltage)
+{
+    OutputBoosterSpec out;
+    double esr = 1.0;
+    double v_bo = brownoutVoltage(out, 10e-3, esr);
+    double c = 10e-3;
+    double w25 = 0.5 * c * (2.5 * 2.5 - v_bo * v_bo);
+    double w30 = 0.5 * c * (3.0 * 3.0 - v_bo * v_bo);
+    EXPECT_GT(w30, w25);
+    // The pre-charge penalty (0.3 V) costs a predictable fraction.
+    double w27 = 0.5 * c * (2.7 * 2.7 - v_bo * v_bo);
+    EXPECT_NEAR((w30 - w27) / w30, (9.0 - 7.29) / (9.0 - v_bo * v_bo),
+                1e-9);
+}
+
+TEST(Formulas, InputBoosterMonotoneInHarvest)
+{
+    InputBoosterSpec in;
+    double prev = 0.0;
+    for (double p = 1e-3; p <= 20e-3; p += 1e-3) {
+        double chg = inputChargePower(in, p, 3.3, 2.0);
+        EXPECT_GE(chg, prev);
+        prev = chg;
+    }
+}
+
+TEST(Formulas, ColdStartTrickleFractionExact)
+{
+    InputBoosterSpec in;
+    in.bypassEnabled = false;
+    for (double p : {1e-3, 5e-3, 10e-3}) {
+        EXPECT_DOUBLE_EQ(inputChargePower(in, p, 3.3, 0.5),
+                         in.coldStartFraction * p);
+    }
+}

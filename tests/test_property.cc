@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Property and fuzz tests across layers: power-system invariants
+ * under randomized operation sequences, energy-conservation checks,
+ * crossing-time consistency, kernel progress under random harvest
+ * conditions, and scoreboard accounting invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/runtime.hh"
+#include "dev/device.hh"
+#include "env/scoring.hh"
+#include "power/parts.hh"
+#include "power/power_system.hh"
+#include "power/solver.hh"
+#include "rt/kernel.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+using namespace capy;
+using namespace capy::power;
+
+namespace
+{
+
+/** Build a randomized 2-3 bank power system. */
+std::unique_ptr<PowerSystem>
+randomSystem(sim::Rng &rng)
+{
+    PowerSystem::Spec spec;
+    double harvest = rng.uniform(0.5e-3, 20e-3);
+    auto ps = std::make_unique<PowerSystem>(
+        spec, std::make_unique<RegulatedSupply>(harvest, 3.3));
+    ps->addBank("base",
+                parts::x5r100uF().parallel(rng.uniformInt(1, 8)));
+    SwitchSpec sw;
+    sw.kind = rng.chance(0.5) ? SwitchKind::NormallyOpen
+                              : SwitchKind::NormallyClosed;
+    ps->addSwitchedBank(
+        "big", parts::edlc7_5mF().parallel(rng.uniformInt(1, 4)), sw);
+    if (rng.chance(0.3)) {
+        ps->addSwitchedBank("mid",
+                            parts::tant1000uF().parallel(
+                                rng.uniformInt(1, 3)),
+                            SwitchSpec{});
+    }
+    return ps;
+}
+
+} // namespace
+
+/** Fuzz the PowerSystem with random operation sequences; invariants
+ *  must hold at every step. */
+class PowerSystemFuzz : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(PowerSystemFuzz, InvariantsUnderRandomOperation)
+{
+    sim::Rng rng(std::uint64_t(GetParam()), 0xF00D);
+    auto ps = randomSystem(rng);
+    sim::Time now = 0.0;
+    bool rail_on = false;
+
+    for (int step = 0; step < 300; ++step) {
+        double dt = rng.exponential(rng.chance(0.2) ? 60.0 : 2.0);
+        now += dt;
+        ps->advanceTo(now);
+
+        switch (rng.uniformInt(0, 5)) {
+          case 0:
+            rail_on = !rail_on;
+            ps->setRailEnabled(rail_on);
+            break;
+          case 1:
+            if (rail_on)
+                ps->setRailLoad(rng.uniform(0.0, 30e-3));
+            break;
+          case 2:
+            if (rail_on) {
+                int idx = int(rng.uniformInt(
+                    0, std::uint64_t(ps->numBanks() - 1)));
+                if (ps->bankSwitch(idx))
+                    ps->commandSwitch(idx, rng.chance(0.5));
+            }
+            break;
+          case 3:
+            if (rng.chance(0.5))
+                ps->setChargeCeiling(rng.uniform(1.8, 2.9));
+            else
+                ps->clearChargeCeiling();
+            break;
+          default:
+            break;
+        }
+
+        // --- invariants ---
+        double v = ps->storageVoltage();
+        ASSERT_GE(v, 0.0) << "step " << step;
+        ASSERT_LE(v, ps->systemSpec().maxStorageVoltage + 1e-6)
+            << "storage never exceeds the limiter target";
+        for (int i = 0; i < ps->numBanks(); ++i) {
+            ASSERT_GE(ps->bank(i).energy(), 0.0);
+            double rated = ps->bank(i).spec().ratedVoltage;
+            ASSERT_LE(ps->bank(i).voltage(), rated + 1e-6)
+                << "bank " << i << " above rating at step " << step;
+        }
+        const auto &st = ps->stats();
+        ASSERT_GE(st.harvestedIn, -1e-9);
+        ASSERT_GE(st.drainedOut, -1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PowerSystemFuzz,
+                         ::testing::Range(1, 21));
+
+/** Energy conservation: harvested = stored + drained + leaked, over
+ *  randomized charge/discharge scenarios. */
+class ConservationSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ConservationSweep, EnergyBalances)
+{
+    sim::Rng rng(std::uint64_t(GetParam()), 0xBEEF);
+    PowerSystem::Spec spec;
+    auto ps = std::make_unique<PowerSystem>(
+        spec, std::make_unique<RegulatedSupply>(
+                  rng.uniform(1e-3, 15e-3), 3.3));
+    ps->addBank("a", parts::x5r100uF().parallel(rng.uniformInt(2, 6)));
+    ps->addBank("b", parts::edlc7_5mF());
+
+    double initial = ps->activeEnergy();
+    sim::Time now = 0.0;
+    for (int i = 0; i < 50; ++i) {
+        now += rng.exponential(5.0);
+        ps->advanceTo(now);
+        if (rng.chance(0.4)) {
+            bool on = rng.chance(0.5);
+            ps->setRailEnabled(on);
+            if (on)
+                ps->setRailLoad(rng.uniform(0.0, 25e-3));
+        }
+    }
+    ps->advanceTo(now + 10.0);
+
+    const auto &st = ps->stats();
+    double stored = ps->activeEnergy() - initial;
+    double balance = st.harvestedIn - st.drainedOut - st.leaked;
+    EXPECT_NEAR(balance, stored,
+                std::max(1e-9, st.harvestedIn * 1e-6))
+        << "harvested - drained - leaked must equal the change in "
+           "stored energy";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationSweep,
+                         ::testing::Range(100, 120));
+
+/** timeToVoltage predictions must match the actual trajectory for
+ *  randomized conditions. */
+class CrossingConsistency : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CrossingConsistency, PredictionMatchesAdvance)
+{
+    sim::Rng rng(std::uint64_t(GetParam()), 0xCAFE);
+    PowerSystem::Spec spec;
+    double harvest = rng.uniform(0.5e-3, 12e-3);
+    auto ps = std::make_unique<PowerSystem>(
+        spec, std::make_unique<RegulatedSupply>(harvest, 3.3));
+    ps->addBank("b", parts::edlc7_5mF().parallel(rng.uniformInt(1, 3)));
+    ps->bankForTest(0).setVoltage(rng.uniform(0.0, 2.9));
+    if (rng.chance(0.5)) {
+        ps->setRailEnabled(true);
+        ps->setRailLoad(rng.uniform(0.0, 20e-3));
+    }
+
+    double v0 = ps->storageVoltage();
+    double target = rng.uniform(0.2, 2.95);
+    sim::Time t = ps->timeToVoltage(target);
+    if (!std::isfinite(t))
+        return;  // legitimately unreachable under these conditions
+    ps->advanceTo(t);
+    EXPECT_NEAR(ps->storageVoltage(), target, 2e-3)
+        << "v0=" << v0 << " harvest=" << harvest;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossingConsistency,
+                         ::testing::Range(200, 240));
+
+/** Kernel progress: under any harvest level, a feasible looping app
+ *  keeps making forward progress with exactly-once body semantics. */
+class KernelHarvestSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(KernelHarvestSweep, ForwardProgressAndExactlyOnce)
+{
+    double harvest_mw = GetParam();
+    sim::Simulator simulator;
+    PowerSystem::Spec spec;
+    auto ps = std::make_unique<PowerSystem>(
+        spec, std::make_unique<RegulatedSupply>(harvest_mw * 1e-3,
+                                                3.3));
+    ps->addBank("b", parts::x5r100uF().parallel(6));
+    dev::Device device(simulator, std::move(ps), dev::msp430fr5969(),
+                       dev::Device::PowerMode::Intermittent);
+
+    int a_runs = 0, b_runs = 0;
+    rt::App app;
+    rt::Task *tb = nullptr;
+    rt::Task *ta = app.addTask("a", 2e-3, 0.0,
+                               [&](rt::Kernel &) -> const rt::Task * {
+                                   ++a_runs;
+                                   return tb;
+                               });
+    tb = app.addTask("b", 3e-3, 1e-3,
+                     [&](rt::Kernel &) -> const rt::Task * {
+                         ++b_runs;
+                         return ta;
+                     });
+    rt::Kernel kernel(device, app);
+    kernel.start();
+    simulator.runUntil(600.0);
+
+    // Strict alternation: bodies run exactly once per completion.
+    EXPECT_GE(a_runs, 10);
+    EXPECT_TRUE(a_runs == b_runs || a_runs == b_runs + 1)
+        << "a=" << a_runs << " b=" << b_runs;
+    EXPECT_EQ(kernel.stats().taskCompletions,
+              std::uint64_t(a_runs + b_runs));
+}
+
+INSTANTIATE_TEST_SUITE_P(HarvestLevels, KernelHarvestSweep,
+                         ::testing::Values(0.7, 1.5, 3.0, 6.0, 12.0,
+                                           24.0));
+
+/** Runtime under every policy: app terminates or progresses, and the
+ *  scoreboard partition always sums to the event total. */
+class PolicySweep
+    : public ::testing::TestWithParam<capy::core::Policy>
+{};
+
+TEST_P(PolicySweep, ScoreboardPartitionInvariant)
+{
+    using namespace capy::core;
+    using namespace capy::env;
+    Policy policy = GetParam();
+
+    sim::Rng rng(31337, 0x5eed);
+    EventSchedule sched = EventSchedule::poisson(rng, 20.0, 400.0, 30.0);
+    Scoreboard sb(sched);
+
+    sim::Simulator simulator;
+    PowerSystem::Spec spec;
+    auto ps = std::make_unique<PowerSystem>(
+        spec, std::make_unique<RegulatedSupply>(8e-3, 3.3));
+    ps->addBank("small", parts::x5r100uF().parallel(4));
+    int big = ps->addSwitchedBank("big", parts::edlc7_5mF(),
+                                  SwitchSpec{});
+    dev::Device device(simulator, std::move(ps), dev::msp430fr5969(),
+                       policy == Policy::Continuous
+                           ? dev::Device::PowerMode::Continuous
+                           : dev::Device::PowerMode::Intermittent);
+
+    ModeRegistry modes;
+    ModeId small = modes.define("small", {});
+    ModeId burst = modes.define("burst", {big});
+
+    rt::App app;
+    rt::Task *report = nullptr;
+    rt::Task *watch = nullptr;
+    report = app.addTask("report", 50e-3, 10e-3,
+                         [&](rt::Kernel &k) -> const rt::Task * {
+                             int id = sched.eventCovering(
+                                 k.now() - 5.0, 5.0, 5.0);
+                             sb.recordReport(id, k.now());
+                             return watch;
+                         });
+    watch = app.addTask("watch", 2e-3, 0.0,
+                        [&](rt::Kernel &k) -> const rt::Task * {
+                            int id = sched.eventCovering(k.now(), 0.0,
+                                                         5.0);
+                            if (id >= 0) {
+                                sb.recordDetection(id);
+                                return report;
+                            }
+                            return watch;
+                        });
+    app.setEntry(watch);
+    rt::Kernel kernel(device, app);
+    Runtime runtime(kernel, modes, policy);
+    runtime.annotate(watch, Annotation::preburst(burst, small));
+    runtime.annotate(report, Annotation::burst(burst));
+    runtime.install();
+    kernel.start();
+    simulator.runUntil(400.0);
+
+    auto sum = sb.summarize();
+    EXPECT_EQ(sum.correct + sum.misclassified + sum.proximityOnly +
+                  sum.missed,
+              sum.total);
+    EXPECT_EQ(sum.total, sched.size());
+    if (policy != Policy::CapyR) {
+        // Every policy except Capy-R (whose recharge-after-detection
+        // can outlive the 5 s window) should catch something.
+        EXPECT_GT(sum.correct + sum.proximityOnly, 0u)
+            << core::policyName(policy);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicySweep,
+    ::testing::Values(capy::core::Policy::Continuous,
+                      capy::core::Policy::Fixed,
+                      capy::core::Policy::CapyR,
+                      capy::core::Policy::CapyP));
+
+/** Latch decay is time-decomposition invariant under random splits. */
+class LatchDecaySweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LatchDecaySweep, SplitInvariant)
+{
+    sim::Rng rng(std::uint64_t(GetParam()), 0x1A7C);
+    SwitchSpec spec;
+    BankSwitch one(spec), many(spec);
+    one.command(true, 0.0, true);
+    many.command(true, 0.0, true);
+
+    double horizon = rng.uniform(10.0, 400.0);
+    one.update(horizon, false);
+    double t = 0.0;
+    while (t < horizon) {
+        t = std::min(horizon, t + rng.exponential(7.0));
+        many.update(t, false);
+    }
+    EXPECT_EQ(one.closed(), many.closed()) << "horizon " << horizon;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatchDecaySweep,
+                         ::testing::Range(300, 330));

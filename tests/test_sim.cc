@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering and
+ * cancellation, simulator clock semantics, RNG distributions,
+ * statistics accumulators, and traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+using namespace capy;
+using namespace capy::sim;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsRunFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5.0, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.runNext();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    EventId id = q.schedule(1.0, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelExecutedEventReturnsFalse)
+{
+    EventQueue q;
+    EventId id = q.schedule(1.0, [] {});
+    q.runNext();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, DoubleCancelReturnsFalse)
+{
+    EventQueue q;
+    EventId id = q.schedule(1.0, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdReturnsFalse)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(kInvalidEvent));
+    EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelDoesNotDisturbOtherEvents)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1.0, [&] { order.push_back(1); });
+    EventId id = q.schedule(2.0, [&] { order.push_back(2); });
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.cancel(id);
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, PendingCountTracksLifecycle)
+{
+    EventQueue q;
+    EventId a = q.schedule(1.0, [] {});
+    q.schedule(2.0, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.pending(), 1u);
+    q.runNext();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            q.schedule(double(depth), chain);
+    };
+    q.schedule(0.0, chain);
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(depth, 5);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents)
+{
+    Simulator s;
+    double seen = -1.0;
+    s.schedule(2.5, [&] { seen = s.now(); });
+    s.run();
+    EXPECT_DOUBLE_EQ(seen, 2.5);
+    EXPECT_DOUBLE_EQ(s.now(), 2.5);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToLimit)
+{
+    Simulator s;
+    int count = 0;
+    s.schedule(1.0, [&] { ++count; });
+    s.schedule(5.0, [&] { ++count; });
+    s.runUntil(3.0);
+    EXPECT_EQ(count, 1);
+    EXPECT_DOUBLE_EQ(s.now(), 3.0);
+    s.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents)
+{
+    Simulator s;
+    bool ran = false;
+    s.schedule(3.0, [&] { ran = true; });
+    s.runUntil(3.0);
+    EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StopHaltsProcessing)
+{
+    Simulator s;
+    int count = 0;
+    s.schedule(1.0, [&] {
+        ++count;
+        s.stop();
+    });
+    s.schedule(2.0, [&] { ++count; });
+    s.run();
+    EXPECT_EQ(count, 1);
+    s.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, NestedSchedulingUsesCurrentTime)
+{
+    Simulator s;
+    double inner_time = -1.0;
+    s.schedule(1.0, [&] {
+        s.schedule(2.0, [&] { inner_time = s.now(); });
+    });
+    s.run();
+    EXPECT_DOUBLE_EQ(inner_time, 3.0);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next32(), b.next32());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next32() == b.next32();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(11);
+    SummaryStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(r.uniform());
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng r(13);
+    SummaryStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(r.exponential(30.0));
+    EXPECT_NEAR(s.mean(), 30.0, 1.0);
+    EXPECT_GT(s.min(), 0.0);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng r(17);
+    SummaryStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(r.normal(5.0, 2.0));
+    EXPECT_NEAR(s.mean(), 5.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng r(19);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformInt(3, 7);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 7u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(23);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, PoissonArrivalsSortedWithinHorizon)
+{
+    Rng r(29);
+    auto arr = poissonArrivals(r, 10.0, 1000.0);
+    ASSERT_FALSE(arr.empty());
+    for (size_t i = 1; i < arr.size(); ++i)
+        EXPECT_GT(arr[i], arr[i - 1]);
+    EXPECT_LT(arr.back(), 1000.0);
+    // Expect roughly horizon/mean events.
+    EXPECT_NEAR(double(arr.size()), 100.0, 40.0);
+}
+
+TEST(Rng, PoissonArrivalsRespectStartAfter)
+{
+    Rng r(31);
+    auto arr = poissonArrivals(r, 5.0, 500.0, 100.0);
+    ASSERT_FALSE(arr.empty());
+    EXPECT_GT(arr.front(), 100.0);
+}
+
+TEST(SummaryStats, BasicMoments)
+{
+    SummaryStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryStats, MergeEqualsCombined)
+{
+    SummaryStats a, b, all;
+    Rng r(37);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.normal(0, 1);
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryStats, EmptyIsZero)
+{
+    SummaryStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BinsAndBounds)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(0.0);
+    h.add(0.5);
+    h.add(9.99);
+    h.add(10.0);
+    h.add(25.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_DOUBLE_EQ(h.binLo(3), 3.0);
+    EXPECT_DOUBLE_EQ(h.binHi(3), 4.0);
+}
+
+TEST(Histogram, QuantilesExact)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 1; i <= 99; ++i)
+        h.add(double(i));
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1e-9);
+    EXPECT_NEAR(h.quantile(0.0), 1.0, 1e-9);
+    EXPECT_NEAR(h.quantile(1.0), 99.0, 1e-9);
+    EXPECT_NEAR(h.mean(), 50.0, 1e-9);
+}
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22222"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Cells, Formatting)
+{
+    EXPECT_EQ(cell(std::uint64_t{42}), "42");
+    EXPECT_EQ(cell(-3), "-3");
+    EXPECT_EQ(percentCell(0.756), "75.6%");
+    EXPECT_EQ(cell(1.5), "1.5");
+}
+
+TEST(TimeSeries, RecordAndInterpolate)
+{
+    TimeSeries ts("v");
+    ts.record(0.0, 1.0);
+    ts.record(10.0, 3.0);
+    EXPECT_DOUBLE_EQ(ts.at(5.0), 2.0);
+    EXPECT_DOUBLE_EQ(ts.at(-1.0), 1.0);
+    EXPECT_DOUBLE_EQ(ts.at(20.0), 3.0);
+    EXPECT_DOUBLE_EQ(ts.lastValue(), 3.0);
+}
+
+TEST(TimeSeries, CsvHasHeaderAndRows)
+{
+    TimeSeries ts("volts");
+    ts.record(1.0, 2.0);
+    std::string csv = ts.csv();
+    EXPECT_NE(csv.find("time,volts"), std::string::npos);
+    EXPECT_NE(csv.find("1,2"), std::string::npos);
+}
+
+TEST(SpanTrace, AccumulatesByLabel)
+{
+    SpanTrace st;
+    st.open(0.0, "charge");
+    st.close(5.0);
+    st.open(5.0, "run");
+    st.close(7.0);
+    st.open(7.0, "charge");
+    st.close(10.0);
+    EXPECT_DOUBLE_EQ(st.totalFor("charge"), 8.0);
+    EXPECT_DOUBLE_EQ(st.totalFor("run"), 2.0);
+    EXPECT_EQ(st.countFor("charge"), 2u);
+    EXPECT_FALSE(st.isOpen());
+}
+
+TEST(SpanTrace, OpenLabelVisible)
+{
+    SpanTrace st;
+    st.open(1.0, "busy");
+    EXPECT_TRUE(st.isOpen());
+    EXPECT_EQ(st.openLabel(), "busy");
+    st.close(2.0);
+}
+
+TEST(Logging, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strfmt("%.2f", 1.234), "1.23");
+}
+
+TEST(Logging, WarnCountIncrements)
+{
+    setQuiet(true);
+    unsigned long before = warnCount();
+    capy_warn("test warning %d", 1);
+    EXPECT_EQ(warnCount(), before + 1);
+    setQuiet(false);
+}

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Property tests for the closed-form transient solver: agreement with
+ * fine-step RK4 integration across a parameter sweep, crossing-time
+ * correctness, monotonicity, and clamping behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "power/solver.hh"
+#include "power/units.hh"
+
+using namespace capy;
+using namespace capy::power;
+
+namespace
+{
+
+/** Reference RK4 integration of dE/dt = P - 2E/(RC), clamped at 0. */
+double
+rk4Advance(double e0, const Phase &ph, double dt, int steps = 20000)
+{
+    auto f = [&](double e) {
+        double leak = std::isinf(ph.leakRes)
+                          ? 0.0
+                          : 2.0 * e / (ph.leakRes * ph.capacitance);
+        return ph.power - leak;
+    };
+    double h = dt / steps;
+    double e = e0;
+    for (int i = 0; i < steps; ++i) {
+        double k1 = f(e);
+        double k2 = f(e + 0.5 * h * k1);
+        double k3 = f(e + 0.5 * h * k2);
+        double k4 = f(e + h * k3);
+        e += h / 6.0 * (k1 + 2 * k2 + 2 * k3 + k4);
+        if (e < 0.0)
+            e = 0.0;
+    }
+    return e;
+}
+
+} // namespace
+
+TEST(Solver, LosslessChargeIsLinear)
+{
+    Phase ph{1e-3, 1e-3, kNever};
+    EXPECT_DOUBLE_EQ(advanceEnergy(0.0, ph, 10.0), 0.01);
+    EXPECT_DOUBLE_EQ(advanceEnergy(5.0, ph, 10.0), 5.01);
+}
+
+TEST(Solver, LosslessDischargeClampsAtZero)
+{
+    Phase ph{-1e-3, 1e-3, kNever};
+    EXPECT_DOUBLE_EQ(advanceEnergy(0.005, ph, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(advanceEnergy(0.02, ph, 10.0), 0.01);
+}
+
+TEST(Solver, ZeroDtIsIdentity)
+{
+    Phase ph{5e-3, 1e-3, 1e6};
+    EXPECT_DOUBLE_EQ(advanceEnergy(0.123, ph, 0.0), 0.123);
+}
+
+TEST(Solver, LeakOnlyDecaysExponentially)
+{
+    // E(t) = E0 exp(-2t/(RC)); RC = 1e6 * 1e-6 = 1, tau = 0.5.
+    Phase ph{0.0, 1e-6, 1e6};
+    double e = advanceEnergy(1.0, ph, 0.5);
+    EXPECT_NEAR(e, std::exp(-1.0), 1e-12);
+}
+
+TEST(Solver, SteadyStateEnergyFormula)
+{
+    Phase ph{2e-3, 1e-3, 1e5};
+    // Einf = P R C / 2 = 2e-3 * 1e5 * 1e-3 / 2 = 0.1 J.
+    EXPECT_DOUBLE_EQ(steadyStateEnergy(ph), 0.1);
+    Phase lossless{1e-3, 1e-3, kNever};
+    EXPECT_TRUE(std::isinf(steadyStateEnergy(lossless)));
+    Phase drain{-1e-3, 1e-3, kNever};
+    EXPECT_DOUBLE_EQ(steadyStateEnergy(drain), 0.0);
+}
+
+TEST(Solver, TimeToEnergyRoundTripsAdvance)
+{
+    Phase ph{3e-3, 2.2e-3, 5e5};
+    double e0 = 0.001;
+    double target = 0.02;
+    double t = timeToEnergy(e0, target, ph);
+    ASSERT_TRUE(std::isfinite(t));
+    EXPECT_NEAR(advanceEnergy(e0, ph, t), target, target * 1e-9);
+}
+
+TEST(Solver, TimeToEnergyUnreachableTargets)
+{
+    // Steady state at 0.1 J; a 0.2 J target is unreachable.
+    Phase ph{2e-3, 1e-3, 1e5};
+    EXPECT_TRUE(std::isinf(timeToEnergy(0.0, 0.2, ph)));
+    // Target behind a rising trajectory is unreachable.
+    EXPECT_TRUE(std::isinf(timeToEnergy(0.05, 0.01, ph)));
+    // Discharging: target above start unreachable.
+    Phase drain{-1e-3, 1e-3, kNever};
+    EXPECT_TRUE(std::isinf(timeToEnergy(0.01, 0.02, drain)));
+}
+
+TEST(Solver, TimeToEnergyAtTargetIsZero)
+{
+    Phase ph{1e-3, 1e-3, 1e6};
+    EXPECT_DOUBLE_EQ(timeToEnergy(0.5, 0.5, ph), 0.0);
+}
+
+TEST(Solver, DischargeToZeroCrossing)
+{
+    Phase ph{-2e-3, 1e-3, kNever};
+    double t = timeToEnergy(0.01, 0.0, ph);
+    EXPECT_NEAR(t, 5.0, 1e-12);
+}
+
+TEST(Solver, DischargeWithLeakReachesZeroSooner)
+{
+    Phase lossless{-2e-3, 1e-3, kNever};
+    Phase leaky{-2e-3, 1e-3, 1e4};
+    double t_ideal = timeToEnergy(0.01, 0.001, lossless);
+    double t_leaky = timeToEnergy(0.01, 0.001, leaky);
+    ASSERT_TRUE(std::isfinite(t_leaky));
+    EXPECT_LT(t_leaky, t_ideal);
+}
+
+/** Sweep: closed form must agree with RK4 across the parameter grid. */
+class SolverSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>>
+{};
+
+TEST_P(SolverSweep, MatchesRk4)
+{
+    auto [power, cap, leak] = GetParam();
+    Phase ph{power, cap, leak};
+    double e0 = 0.5 * cap * 2.0 * 2.0;  // start at 2 V
+    double dt = 5.0;
+    double closed = advanceEnergy(e0, ph, dt);
+    double numeric = rk4Advance(e0, ph, dt);
+    double scale = std::max({closed, numeric, 1e-9});
+    EXPECT_NEAR(closed, numeric, scale * 1e-5)
+        << "P=" << power << " C=" << cap << " R=" << leak;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SolverSweep,
+    ::testing::Combine(
+        ::testing::Values(-10e-3, -1e-3, 0.0, 1e-3, 10e-3),
+        ::testing::Values(100e-6, 1e-3, 10e-3, 67.5e-3),
+        ::testing::Values(1e4, 1e6, kNever)));
+
+/** Crossing times found by the solver agree with bisection on RK4. */
+class CrossingSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{};
+
+TEST_P(CrossingSweep, CrossingConsistentWithTrajectory)
+{
+    auto [power, leak] = GetParam();
+    Phase ph{power, 4.7e-3, leak};
+    double e0 = 0.01;
+    double einf = steadyStateEnergy(ph);
+    // Pick a target guaranteed between e0 and the asymptote.
+    double target;
+    if (std::isinf(einf)) {
+        target = power > 0 ? e0 * 2.0 : e0 * 0.5;
+    } else if (einf > e0) {
+        target = e0 + 0.5 * (einf - e0);
+    } else {
+        target = einf + 0.5 * (e0 - einf);
+    }
+    if (power == 0.0 && std::isinf(leak))
+        return;  // static trajectory, nothing to cross
+    double t = timeToEnergy(e0, target, ph);
+    ASSERT_TRUE(std::isfinite(t)) << "target " << target;
+    double e_at = advanceEnergy(e0, ph, t);
+    EXPECT_NEAR(e_at, target, std::abs(target) * 1e-9 + 1e-15);
+    // Before the crossing the trajectory must not have reached it.
+    double e_before = advanceEnergy(e0, ph, t * 0.5);
+    if (target > e0)
+        EXPECT_LT(e_before, target);
+    else
+        EXPECT_GT(e_before, target);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CrossingSweep,
+    ::testing::Combine(::testing::Values(-5e-3, -1e-4, 1e-4, 5e-3),
+                       ::testing::Values(1e4, 5e5, kNever)));
+
+TEST(Solver, MonotoneInTime)
+{
+    Phase ph{1e-3, 1e-3, 1e5};
+    double prev = 0.0;
+    for (int i = 1; i <= 100; ++i) {
+        double e = advanceEnergy(0.0, ph, double(i));
+        EXPECT_GE(e, prev);
+        prev = e;
+    }
+}
+
+TEST(Solver, SemigroupProperty)
+{
+    // advance(e, t1+t2) == advance(advance(e, t1), t2)
+    Phase ph{2e-3, 3.3e-3, 2e5};
+    double e0 = 0.004;
+    double one_shot = advanceEnergy(e0, ph, 7.0);
+    double two_step = advanceEnergy(advanceEnergy(e0, ph, 3.0), ph, 4.0);
+    EXPECT_NEAR(one_shot, two_step, one_shot * 1e-12);
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the DEBS-style V_top-scaling runtime, plus long-horizon
+ * soak tests of the full application stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/ta.hh"
+#include "core/vtop_runtime.hh"
+#include "power/parts.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+using namespace capy;
+using namespace capy::core;
+using namespace capy::power;
+
+namespace
+{
+
+struct VtopRig
+{
+    sim::Simulator sim;
+    std::unique_ptr<dev::Device> device;
+    rt::App app;
+
+    VtopRig()
+    {
+        PowerSystem::Spec spec;
+        auto ps = std::make_unique<PowerSystem>(
+            spec, std::make_unique<RegulatedSupply>(8e-3, 3.3));
+        ps->addBank("fixed",
+                    parallelCompose({parts::x5r100uF().parallel(4),
+                                     parts::edlc7_5mF()}));
+        device = std::make_unique<dev::Device>(
+            sim, std::move(ps), dev::msp430fr5969(),
+            dev::Device::PowerMode::Intermittent);
+    }
+};
+
+} // namespace
+
+TEST(VtopRuntime, ScalesThresholdPerTask)
+{
+    VtopRig rig;
+    // A draining loop at a low threshold, then one big task at a
+    // high threshold. The first boot charges to the default full
+    // target (the potentiometer is unprogrammed), so threshold
+    // behaviour shows up in the *recharges*.
+    std::vector<double> v_loop;
+    double v_at_big = -1.0;
+    rt::Task *big = rig.app.addTask(
+        "big", 50e-3, 10e-3, [&](rt::Kernel &k) -> const rt::Task * {
+            v_at_big = k.device().powerSystem().storageVoltage();
+            return nullptr;
+        });
+    rt::Task *loop = nullptr;
+    loop = rig.app.addTask(
+        // Heavy enough to pull the buffer noticeably below 1.9 V
+        // per run, yet small enough to fit the 1.9 V threshold.
+        "loop", 0.15, 10e-3, [&](rt::Kernel &k) -> const rt::Task * {
+            v_loop.push_back(
+                k.device().powerSystem().storageVoltage());
+            return v_loop.size() < 6 ? loop : big;
+        });
+    rig.app.setEntry(loop);
+
+    rt::Kernel kernel(*rig.device, rig.app);
+    dev::NvMemory eeprom("pot", 100000);
+    VtopRuntime runtime(kernel, &eeprom);
+    runtime.annotate(loop, 1.9);
+    runtime.annotate(big, 2.9);
+    runtime.install();
+    kernel.start();
+    rig.sim.runUntil(1200.0);
+    ASSERT_TRUE(kernel.halted());
+    ASSERT_EQ(v_loop.size(), 6u);
+    // Later loop iterations start from the low threshold, not full.
+    EXPECT_LT(v_loop.back(), 2.1);
+    // The big task only ran after charging to the high threshold.
+    EXPECT_GE(v_at_big, 2.7);
+    EXPECT_EQ(runtime.eepromWrites(), 2u);
+    EXPECT_GE(runtime.stats().rechargePauses, 1u);
+}
+
+TEST(VtopRuntime, UnannotatedTasksProceed)
+{
+    VtopRig rig;
+    int runs = 0;
+    rig.app.addTask("plain", 1e-3, 0.0,
+                    [&](rt::Kernel &) -> const rt::Task * {
+                        ++runs;
+                        return nullptr;
+                    });
+    rt::Kernel kernel(*rig.device, rig.app);
+    VtopRuntime runtime(kernel);
+    runtime.install();
+    kernel.start();
+    rig.sim.runUntil(600.0);
+    EXPECT_EQ(runs, 1);
+    EXPECT_EQ(runtime.eepromWrites(), 0u);
+}
+
+TEST(VtopRuntime, RepeatedSameThresholdNoEepromWear)
+{
+    VtopRig rig;
+    int runs = 0;
+    rt::Task *t = nullptr;
+    t = rig.app.addTask("loop", 1e-3, 0.0,
+                        [&](rt::Kernel &) -> const rt::Task * {
+                            return ++runs < 25 ? t : nullptr;
+                        });
+    rt::Kernel kernel(*rig.device, rig.app);
+    dev::NvMemory eeprom("pot", 100000);
+    VtopRuntime runtime(kernel, &eeprom);
+    runtime.annotate(t, 2.0);
+    runtime.install();
+    kernel.start();
+    rig.sim.runUntil(600.0);
+    EXPECT_EQ(runs, 25);
+    EXPECT_EQ(runtime.eepromWrites(), 1u)
+        << "an unchanged threshold must not rewrite the EEPROM";
+}
+
+TEST(Soak, SixHourTempAlarmStaysHealthy)
+{
+    // Long-horizon stability: 6 h of simulated Capy-P TempAlarm with
+    // 150 events. Checks for monotone time, bounded memory use
+    // (implicitly), and sane aggregate statistics.
+    setQuiet(true);
+    const double horizon = 6.0 * 3600.0;
+    sim::Rng rng(77, 0x7a);
+    auto sched =
+        env::EventSchedule::poissonCount(rng, 150, horizon, 60.0);
+    apps::RunMetrics m =
+        apps::runTempAlarm(Policy::CapyP, sched, 77, horizon);
+    setQuiet(false);
+
+    EXPECT_GT(m.summary.fracCorrect, 0.6);
+    EXPECT_GT(m.samples, 10000u);
+    EXPECT_GT(m.device.boots, 1000u);
+    // Energy profile sane: the radio spent more per completion than
+    // the sensing task.
+    ASSERT_TRUE(m.taskEnergy.count("sense"));
+    ASSERT_TRUE(m.taskEnergy.count("radio_tx"));
+    const auto &sense = m.taskEnergy.at("sense");
+    const auto &tx = m.taskEnergy.at("radio_tx");
+    ASSERT_GT(sense.completions, 0u);
+    ASSERT_GT(tx.completions, 0u);
+    EXPECT_GT(tx.railEnergy / double(tx.completions),
+              20.0 * sense.railEnergy / double(sense.completions));
+    // Total attributed energy is plausible against the harvest bound:
+    // <= horizon * harvest power (can't spend more than arrived).
+    double attributed = 0.0;
+    for (const auto &[name, use] : m.taskEnergy)
+        attributed += use.railEnergy + use.wastedEnergy;
+    EXPECT_LT(attributed, horizon * apps::taHarvestPower());
+}
+
+TEST(Soak, FixedSixHoursForComparison)
+{
+    setQuiet(true);
+    const double horizon = 6.0 * 3600.0;
+    sim::Rng rng(78, 0x7a);
+    auto sched =
+        env::EventSchedule::poissonCount(rng, 150, horizon, 60.0);
+    apps::RunMetrics m =
+        apps::runTempAlarm(Policy::Fixed, sched, 78, horizon);
+    setQuiet(false);
+    // Fixed keeps working, just worse.
+    EXPECT_GT(m.summary.correct, 10u);
+    EXPECT_LT(m.summary.fracCorrect, 0.8);
+    EXPECT_GT(m.chargeSpanMean, 10.0);
+}
