@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bypass.dir/bench_ablation_bypass.cc.o"
+  "CMakeFiles/bench_ablation_bypass.dir/bench_ablation_bypass.cc.o.d"
+  "bench_ablation_bypass"
+  "bench_ablation_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

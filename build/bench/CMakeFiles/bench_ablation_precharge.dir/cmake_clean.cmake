@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_precharge.dir/bench_ablation_precharge.cc.o"
+  "CMakeFiles/bench_ablation_precharge.dir/bench_ablation_precharge.cc.o.d"
+  "bench_ablation_precharge"
+  "bench_ablation_precharge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_precharge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

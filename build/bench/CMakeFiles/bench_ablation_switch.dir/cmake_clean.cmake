@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_switch.dir/bench_ablation_switch.cc.o"
+  "CMakeFiles/bench_ablation_switch.dir/bench_ablation_switch.cc.o.d"
+  "bench_ablation_switch"
+  "bench_ablation_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capysat.dir/bench_capysat.cc.o"
+  "CMakeFiles/bench_capysat.dir/bench_capysat.cc.o.d"
+  "bench_capysat"
+  "bench_capysat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capysat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

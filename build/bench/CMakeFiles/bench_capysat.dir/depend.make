@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_capysat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checkpoint_comparison.dir/bench_checkpoint_comparison.cc.o"
+  "CMakeFiles/bench_checkpoint_comparison.dir/bench_checkpoint_comparison.cc.o.d"
+  "bench_checkpoint_comparison"
+  "bench_checkpoint_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checkpoint_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

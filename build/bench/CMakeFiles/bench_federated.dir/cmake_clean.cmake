@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_federated.dir/bench_federated.cc.o"
+  "CMakeFiles/bench_federated.dir/bench_federated.cc.o.d"
+  "bench_federated"
+  "bench_federated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_federated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_volume.dir/bench_fig04_volume.cc.o"
+  "CMakeFiles/bench_fig04_volume.dir/bench_fig04_volume.cc.o.d"
+  "bench_fig04_volume"
+  "bench_fig04_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

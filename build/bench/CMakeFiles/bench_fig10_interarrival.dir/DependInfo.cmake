@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_interarrival.cc" "bench/CMakeFiles/bench_fig10_interarrival.dir/bench_fig10_interarrival.cc.o" "gcc" "bench/CMakeFiles/bench_fig10_interarrival.dir/bench_fig10_interarrival.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/capy_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/capy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/capy_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/capy_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/capy_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/capy_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/capy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_intersample.dir/bench_fig11_intersample.cc.o"
+  "CMakeFiles/bench_fig11_intersample.dir/bench_fig11_intersample.cc.o.d"
+  "bench_fig11_intersample"
+  "bench_fig11_intersample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_intersample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vtop_runtime.dir/bench_vtop_runtime.cc.o"
+  "CMakeFiles/bench_vtop_runtime.dir/bench_vtop_runtime.cc.o.d"
+  "bench_vtop_runtime"
+  "bench_vtop_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vtop_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

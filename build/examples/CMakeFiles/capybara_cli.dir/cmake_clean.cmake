@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capybara_cli.dir/capybara_cli.cpp.o"
+  "CMakeFiles/capybara_cli.dir/capybara_cli.cpp.o.d"
+  "capybara_cli"
+  "capybara_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capybara_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

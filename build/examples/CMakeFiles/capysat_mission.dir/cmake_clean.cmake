@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capysat_mission.dir/capysat_mission.cpp.o"
+  "CMakeFiles/capysat_mission.dir/capysat_mission.cpp.o.d"
+  "capysat_mission"
+  "capysat_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capysat_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlated_sensing.dir/correlated_sensing.cpp.o"
+  "CMakeFiles/correlated_sensing.dir/correlated_sensing.cpp.o.d"
+  "correlated_sensing"
+  "correlated_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlated_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_trace.dir/energy_trace.cpp.o"
+  "CMakeFiles/energy_trace.dir/energy_trace.cpp.o.d"
+  "energy_trace"
+  "energy_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

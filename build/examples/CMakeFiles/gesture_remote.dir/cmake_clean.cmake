@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesture_remote.dir/gesture_remote.cpp.o"
+  "CMakeFiles/gesture_remote.dir/gesture_remote.cpp.o.d"
+  "gesture_remote"
+  "gesture_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesture_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provision_tool.dir/provision_tool.cpp.o"
+  "CMakeFiles/provision_tool.dir/provision_tool.cpp.o.d"
+  "provision_tool"
+  "provision_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provision_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

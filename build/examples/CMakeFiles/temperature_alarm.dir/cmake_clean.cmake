@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temperature_alarm.dir/temperature_alarm.cpp.o"
+  "CMakeFiles/temperature_alarm.dir/temperature_alarm.cpp.o.d"
+  "temperature_alarm"
+  "temperature_alarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temperature_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

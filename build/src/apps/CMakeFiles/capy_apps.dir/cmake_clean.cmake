@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capy_apps.dir/boards.cc.o"
+  "CMakeFiles/capy_apps.dir/boards.cc.o.d"
+  "CMakeFiles/capy_apps.dir/capysat.cc.o"
+  "CMakeFiles/capy_apps.dir/capysat.cc.o.d"
+  "CMakeFiles/capy_apps.dir/csr.cc.o"
+  "CMakeFiles/capy_apps.dir/csr.cc.o.d"
+  "CMakeFiles/capy_apps.dir/experiment.cc.o"
+  "CMakeFiles/capy_apps.dir/experiment.cc.o.d"
+  "CMakeFiles/capy_apps.dir/grc.cc.o"
+  "CMakeFiles/capy_apps.dir/grc.cc.o.d"
+  "CMakeFiles/capy_apps.dir/ta.cc.o"
+  "CMakeFiles/capy_apps.dir/ta.cc.o.d"
+  "libcapy_apps.a"
+  "libcapy_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capy_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocate.cc" "src/core/CMakeFiles/capy_core.dir/allocate.cc.o" "gcc" "src/core/CMakeFiles/capy_core.dir/allocate.cc.o.d"
+  "/root/repo/src/core/energy_mode.cc" "src/core/CMakeFiles/capy_core.dir/energy_mode.cc.o" "gcc" "src/core/CMakeFiles/capy_core.dir/energy_mode.cc.o.d"
+  "/root/repo/src/core/provision.cc" "src/core/CMakeFiles/capy_core.dir/provision.cc.o" "gcc" "src/core/CMakeFiles/capy_core.dir/provision.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/capy_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/capy_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/threshold_alt.cc" "src/core/CMakeFiles/capy_core.dir/threshold_alt.cc.o" "gcc" "src/core/CMakeFiles/capy_core.dir/threshold_alt.cc.o.d"
+  "/root/repo/src/core/vtop_runtime.cc" "src/core/CMakeFiles/capy_core.dir/vtop_runtime.cc.o" "gcc" "src/core/CMakeFiles/capy_core.dir/vtop_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/capy_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/capy_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/capy_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/capy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capy_core.dir/allocate.cc.o"
+  "CMakeFiles/capy_core.dir/allocate.cc.o.d"
+  "CMakeFiles/capy_core.dir/energy_mode.cc.o"
+  "CMakeFiles/capy_core.dir/energy_mode.cc.o.d"
+  "CMakeFiles/capy_core.dir/provision.cc.o"
+  "CMakeFiles/capy_core.dir/provision.cc.o.d"
+  "CMakeFiles/capy_core.dir/runtime.cc.o"
+  "CMakeFiles/capy_core.dir/runtime.cc.o.d"
+  "CMakeFiles/capy_core.dir/threshold_alt.cc.o"
+  "CMakeFiles/capy_core.dir/threshold_alt.cc.o.d"
+  "CMakeFiles/capy_core.dir/vtop_runtime.cc.o"
+  "CMakeFiles/capy_core.dir/vtop_runtime.cc.o.d"
+  "libcapy_core.a"
+  "libcapy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

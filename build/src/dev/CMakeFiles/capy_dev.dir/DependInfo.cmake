@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dev/device.cc" "src/dev/CMakeFiles/capy_dev.dir/device.cc.o" "gcc" "src/dev/CMakeFiles/capy_dev.dir/device.cc.o.d"
+  "/root/repo/src/dev/mcu.cc" "src/dev/CMakeFiles/capy_dev.dir/mcu.cc.o" "gcc" "src/dev/CMakeFiles/capy_dev.dir/mcu.cc.o.d"
+  "/root/repo/src/dev/nvmem.cc" "src/dev/CMakeFiles/capy_dev.dir/nvmem.cc.o" "gcc" "src/dev/CMakeFiles/capy_dev.dir/nvmem.cc.o.d"
+  "/root/repo/src/dev/peripheral.cc" "src/dev/CMakeFiles/capy_dev.dir/peripheral.cc.o" "gcc" "src/dev/CMakeFiles/capy_dev.dir/peripheral.cc.o.d"
+  "/root/repo/src/dev/radio.cc" "src/dev/CMakeFiles/capy_dev.dir/radio.cc.o" "gcc" "src/dev/CMakeFiles/capy_dev.dir/radio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/capy_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/capy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

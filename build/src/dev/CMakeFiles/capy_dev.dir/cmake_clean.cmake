@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capy_dev.dir/device.cc.o"
+  "CMakeFiles/capy_dev.dir/device.cc.o.d"
+  "CMakeFiles/capy_dev.dir/mcu.cc.o"
+  "CMakeFiles/capy_dev.dir/mcu.cc.o.d"
+  "CMakeFiles/capy_dev.dir/nvmem.cc.o"
+  "CMakeFiles/capy_dev.dir/nvmem.cc.o.d"
+  "CMakeFiles/capy_dev.dir/peripheral.cc.o"
+  "CMakeFiles/capy_dev.dir/peripheral.cc.o.d"
+  "CMakeFiles/capy_dev.dir/radio.cc.o"
+  "CMakeFiles/capy_dev.dir/radio.cc.o.d"
+  "libcapy_dev.a"
+  "libcapy_dev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capy_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcapy_dev.a"
+)

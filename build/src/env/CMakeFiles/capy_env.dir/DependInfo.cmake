@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/events.cc" "src/env/CMakeFiles/capy_env.dir/events.cc.o" "gcc" "src/env/CMakeFiles/capy_env.dir/events.cc.o.d"
+  "/root/repo/src/env/light.cc" "src/env/CMakeFiles/capy_env.dir/light.cc.o" "gcc" "src/env/CMakeFiles/capy_env.dir/light.cc.o.d"
+  "/root/repo/src/env/pendulum.cc" "src/env/CMakeFiles/capy_env.dir/pendulum.cc.o" "gcc" "src/env/CMakeFiles/capy_env.dir/pendulum.cc.o.d"
+  "/root/repo/src/env/scoring.cc" "src/env/CMakeFiles/capy_env.dir/scoring.cc.o" "gcc" "src/env/CMakeFiles/capy_env.dir/scoring.cc.o.d"
+  "/root/repo/src/env/thermal.cc" "src/env/CMakeFiles/capy_env.dir/thermal.cc.o" "gcc" "src/env/CMakeFiles/capy_env.dir/thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/capy_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/capy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capy_env.dir/events.cc.o"
+  "CMakeFiles/capy_env.dir/events.cc.o.d"
+  "CMakeFiles/capy_env.dir/light.cc.o"
+  "CMakeFiles/capy_env.dir/light.cc.o.d"
+  "CMakeFiles/capy_env.dir/pendulum.cc.o"
+  "CMakeFiles/capy_env.dir/pendulum.cc.o.d"
+  "CMakeFiles/capy_env.dir/scoring.cc.o"
+  "CMakeFiles/capy_env.dir/scoring.cc.o.d"
+  "CMakeFiles/capy_env.dir/thermal.cc.o"
+  "CMakeFiles/capy_env.dir/thermal.cc.o.d"
+  "libcapy_env.a"
+  "libcapy_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capy_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

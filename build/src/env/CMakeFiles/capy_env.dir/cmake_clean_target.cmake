@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcapy_env.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/bankswitch.cc" "src/power/CMakeFiles/capy_power.dir/bankswitch.cc.o" "gcc" "src/power/CMakeFiles/capy_power.dir/bankswitch.cc.o.d"
+  "/root/repo/src/power/booster.cc" "src/power/CMakeFiles/capy_power.dir/booster.cc.o" "gcc" "src/power/CMakeFiles/capy_power.dir/booster.cc.o.d"
+  "/root/repo/src/power/capacitor.cc" "src/power/CMakeFiles/capy_power.dir/capacitor.cc.o" "gcc" "src/power/CMakeFiles/capy_power.dir/capacitor.cc.o.d"
+  "/root/repo/src/power/federated.cc" "src/power/CMakeFiles/capy_power.dir/federated.cc.o" "gcc" "src/power/CMakeFiles/capy_power.dir/federated.cc.o.d"
+  "/root/repo/src/power/harvester.cc" "src/power/CMakeFiles/capy_power.dir/harvester.cc.o" "gcc" "src/power/CMakeFiles/capy_power.dir/harvester.cc.o.d"
+  "/root/repo/src/power/parts.cc" "src/power/CMakeFiles/capy_power.dir/parts.cc.o" "gcc" "src/power/CMakeFiles/capy_power.dir/parts.cc.o.d"
+  "/root/repo/src/power/power_system.cc" "src/power/CMakeFiles/capy_power.dir/power_system.cc.o" "gcc" "src/power/CMakeFiles/capy_power.dir/power_system.cc.o.d"
+  "/root/repo/src/power/solver.cc" "src/power/CMakeFiles/capy_power.dir/solver.cc.o" "gcc" "src/power/CMakeFiles/capy_power.dir/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/capy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capy_power.dir/bankswitch.cc.o"
+  "CMakeFiles/capy_power.dir/bankswitch.cc.o.d"
+  "CMakeFiles/capy_power.dir/booster.cc.o"
+  "CMakeFiles/capy_power.dir/booster.cc.o.d"
+  "CMakeFiles/capy_power.dir/capacitor.cc.o"
+  "CMakeFiles/capy_power.dir/capacitor.cc.o.d"
+  "CMakeFiles/capy_power.dir/federated.cc.o"
+  "CMakeFiles/capy_power.dir/federated.cc.o.d"
+  "CMakeFiles/capy_power.dir/harvester.cc.o"
+  "CMakeFiles/capy_power.dir/harvester.cc.o.d"
+  "CMakeFiles/capy_power.dir/parts.cc.o"
+  "CMakeFiles/capy_power.dir/parts.cc.o.d"
+  "CMakeFiles/capy_power.dir/power_system.cc.o"
+  "CMakeFiles/capy_power.dir/power_system.cc.o.d"
+  "CMakeFiles/capy_power.dir/solver.cc.o"
+  "CMakeFiles/capy_power.dir/solver.cc.o.d"
+  "libcapy_power.a"
+  "libcapy_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capy_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

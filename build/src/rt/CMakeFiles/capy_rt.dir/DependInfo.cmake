@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/checkpoint.cc" "src/rt/CMakeFiles/capy_rt.dir/checkpoint.cc.o" "gcc" "src/rt/CMakeFiles/capy_rt.dir/checkpoint.cc.o.d"
+  "/root/repo/src/rt/kernel.cc" "src/rt/CMakeFiles/capy_rt.dir/kernel.cc.o" "gcc" "src/rt/CMakeFiles/capy_rt.dir/kernel.cc.o.d"
+  "/root/repo/src/rt/task.cc" "src/rt/CMakeFiles/capy_rt.dir/task.cc.o" "gcc" "src/rt/CMakeFiles/capy_rt.dir/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dev/CMakeFiles/capy_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/capy_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/capy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

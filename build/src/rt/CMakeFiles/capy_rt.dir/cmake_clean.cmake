@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capy_rt.dir/checkpoint.cc.o"
+  "CMakeFiles/capy_rt.dir/checkpoint.cc.o.d"
+  "CMakeFiles/capy_rt.dir/kernel.cc.o"
+  "CMakeFiles/capy_rt.dir/kernel.cc.o.d"
+  "CMakeFiles/capy_rt.dir/task.cc.o"
+  "CMakeFiles/capy_rt.dir/task.cc.o.d"
+  "libcapy_rt.a"
+  "libcapy_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capy_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

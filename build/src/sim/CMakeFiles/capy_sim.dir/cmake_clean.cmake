@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capy_sim.dir/event.cc.o"
+  "CMakeFiles/capy_sim.dir/event.cc.o.d"
+  "CMakeFiles/capy_sim.dir/export.cc.o"
+  "CMakeFiles/capy_sim.dir/export.cc.o.d"
+  "CMakeFiles/capy_sim.dir/logging.cc.o"
+  "CMakeFiles/capy_sim.dir/logging.cc.o.d"
+  "CMakeFiles/capy_sim.dir/random.cc.o"
+  "CMakeFiles/capy_sim.dir/random.cc.o.d"
+  "CMakeFiles/capy_sim.dir/simulator.cc.o"
+  "CMakeFiles/capy_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/capy_sim.dir/stats.cc.o"
+  "CMakeFiles/capy_sim.dir/stats.cc.o.d"
+  "CMakeFiles/capy_sim.dir/trace.cc.o"
+  "CMakeFiles/capy_sim.dir/trace.cc.o.d"
+  "libcapy_sim.a"
+  "libcapy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allocate.dir/test_allocate.cc.o"
+  "CMakeFiles/test_allocate.dir/test_allocate.cc.o.d"
+  "test_allocate"
+  "test_allocate.pdb"
+  "test_allocate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allocate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_booster.dir/test_booster.cc.o"
+  "CMakeFiles/test_booster.dir/test_booster.cc.o.d"
+  "test_booster"
+  "test_booster.pdb"
+  "test_booster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_booster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capacitor.dir/test_capacitor.cc.o"
+  "CMakeFiles/test_capacitor.dir/test_capacitor.cc.o.d"
+  "test_capacitor"
+  "test_capacitor.pdb"
+  "test_capacitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capacitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_runtime.dir/test_core_runtime.cc.o"
+  "CMakeFiles/test_core_runtime.dir/test_core_runtime.cc.o.d"
+  "test_core_runtime"
+  "test_core_runtime.pdb"
+  "test_core_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

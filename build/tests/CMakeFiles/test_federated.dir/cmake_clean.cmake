@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_federated.dir/test_federated.cc.o"
+  "CMakeFiles/test_federated.dir/test_federated.cc.o.d"
+  "test_federated"
+  "test_federated.pdb"
+  "test_federated[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_federated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_system.dir/test_power_system.cc.o"
+  "CMakeFiles/test_power_system.dir/test_power_system.cc.o.d"
+  "test_power_system"
+  "test_power_system.pdb"
+  "test_power_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vtop_runtime.dir/test_vtop_runtime.cc.o"
+  "CMakeFiles/test_vtop_runtime.dir/test_vtop_runtime.cc.o.d"
+  "test_vtop_runtime"
+  "test_vtop_runtime.pdb"
+  "test_vtop_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vtop_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
