@@ -16,6 +16,7 @@
 #include "power/power_system.hh"
 #include "power/solver.hh"
 #include "sim/logging.hh"
+#include "sim/runner.hh"
 #include "sim/stats.hh"
 
 using namespace capy;
@@ -75,14 +76,22 @@ main()
          8e-3},
     };
 
+    // Jobs 2i / 2i+1 are case i with/without the bypass.
+    sim::BatchRunner pool;
+    auto times = pool.map(2 * std::size(cases), [&](std::size_t i) {
+        const Case &c = cases[i / 2];
+        return chargeTime(c.bank, c.harvest, i % 2 == 0);
+    });
+
     sim::Table t({"configuration", "cold start w/ bypass (s)",
                   "cold start w/o (s)", "cold-start speedup",
                   "full charge w/ (s)", "full charge w/o (s)",
                   "full speedup"});
     double min_cold = 1e9, min_full = 1e9;
-    for (const auto &c : cases) {
-        ChargeTimes with = chargeTime(c.bank, c.harvest, true);
-        ChargeTimes without = chargeTime(c.bank, c.harvest, false);
+    for (std::size_t ci = 0; ci < std::size(cases); ++ci) {
+        const Case &c = cases[ci];
+        const ChargeTimes &with = times[2 * ci];
+        const ChargeTimes &without = times[2 * ci + 1];
         double cold_speedup = without.coldStart / with.coldStart;
         double full_speedup = without.full / with.full;
         min_cold = std::min(min_cold, cold_speedup);

@@ -21,6 +21,7 @@
 #include "power/parts.hh"
 #include "power/power_system.hh"
 #include "sim/logging.hh"
+#include "sim/runner.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 
@@ -79,37 +80,57 @@ main()
 
     power::PowerSystem::Spec spec;
 
+    // Each mechanism builds its own power system inside its job; the
+    // three cold starts are independent and run in parallel.
     // C control: switch array reverts NO -> only the small default
     // bank is connected for the cold start.
-    auto c_ctl = std::make_unique<power::PowerSystem>(
-        spec, std::make_unique<power::RegulatedSupply>(kHarvest, 3.3));
-    c_ctl->addBank("small", smallBank());
-    c_ctl->addSwitchedBank("big", power::parts::edlc7_5mF().parallel(6),
-                           power::SwitchSpec{});
-    double t_c = coldStart(std::move(c_ctl));
+    auto run_c = [&spec] {
+        auto ps = std::make_unique<power::PowerSystem>(
+            spec,
+            std::make_unique<power::RegulatedSupply>(kHarvest, 3.3));
+        ps->addBank("small", smallBank());
+        ps->addSwitchedBank("big",
+                            power::parts::edlc7_5mF().parallel(6),
+                            power::SwitchSpec{});
+        return coldStart(std::move(ps));
+    };
 
     // V_top control: one fixed large capacitor charged to a lowered
     // threshold with the same energy as the small bank's full charge.
-    auto vt_ps = std::make_unique<power::PowerSystem>(
-        spec, std::make_unique<power::RegulatedSupply>(kHarvest, 3.3));
-    vt_ps->addBank("fixed", fullStorage());
-    {
+    auto run_vtop = [&spec] {
+        auto ps = std::make_unique<power::PowerSystem>(
+            spec,
+            std::make_unique<power::RegulatedSupply>(kHarvest, 3.3));
+        ps->addBank("fixed", fullStorage());
         // Threshold for equal stored energy, but never below the
         // output booster's start voltage.
         double e_small = 0.5 * smallBank().capacitance * 3.0 * 3.0;
-        double v = std::sqrt(2.0 * e_small /
-                             fullStorage().capacitance);
+        double v =
+            std::sqrt(2.0 * e_small / fullStorage().capacitance);
         v = std::max(v, spec.output.minInputStart + 0.1);
-        core::VtopController ctl(*vt_ps);
-        ctl.setThreshold(v);
-    }
-    double t_vtop = coldStart(std::move(vt_ps));
+        {
+            core::VtopController ctl(*ps);
+            ctl.setThreshold(v);
+        }
+        return coldStart(std::move(ps));
+    };
 
     // V_bottom control: the full capacitor must charge to the top.
-    auto vb_ps = std::make_unique<power::PowerSystem>(
-        spec, std::make_unique<power::RegulatedSupply>(kHarvest, 3.3));
-    vb_ps->addBank("fixed", fullStorage());
-    double t_vbot = coldStart(std::move(vb_ps));
+    auto run_vbot = [&spec] {
+        auto ps = std::make_unique<power::PowerSystem>(
+            spec,
+            std::make_unique<power::RegulatedSupply>(kHarvest, 3.3));
+        ps->addBank("fixed", fullStorage());
+        return coldStart(std::move(ps));
+    };
+
+    sim::BatchRunner pool;
+    auto times = pool.map(3, [&](std::size_t i) {
+        return i == 0 ? run_c() : i == 1 ? run_vtop() : run_vbot();
+    });
+    double t_c = times[0];
+    double t_vtop = times[1];
+    double t_vbot = times[2];
 
     sim::Table t({"mechanism", "cold start (s)", "vs C control"});
     t.addRow({"C control (switched banks)", sim::cell(t_c, 4), "1x"});

@@ -31,13 +31,18 @@ main()
     constexpr std::uint64_t kSeed = 4242;
     auto sched = taSchedule(kSeed);
 
-    RunMetrics capy_r = runTempAlarm(Policy::CapyR, sched, kSeed);
-
     std::vector<double> penalties = {0.0, 0.3, 0.6};
-    std::vector<RunMetrics> runs;
+    std::vector<MetricsJob> jobs = {[&sched] {
+        return runTempAlarm(Policy::CapyR, sched, kSeed);
+    }};
     for (double p : penalties)
-        runs.push_back(
-            runTempAlarm(Policy::CapyP, sched, kSeed, kTaHorizon, p));
+        jobs.push_back([&sched, p] {
+            return runTempAlarm(Policy::CapyP, sched, kSeed,
+                                kTaHorizon, p);
+        });
+    auto results = runMetricsBatch(jobs);
+    RunMetrics capy_r = results[0];
+    std::vector<RunMetrics> runs(results.begin() + 1, results.end());
 
     sim::Table t({"system", "correct", "latency mean (s)",
                   "latency max (s)", "burst activations",

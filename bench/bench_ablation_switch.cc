@@ -18,6 +18,7 @@
 #include "power/parts.hh"
 #include "rt/kernel.hh"
 #include "sim/logging.hh"
+#include "sim/runner.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 
@@ -95,8 +96,15 @@ main()
                 "outlives the ~3 min latch retention\n\n",
                 harvest * 1e3);
 
-    Result no = run(power::SwitchKind::NormallyOpen, harvest);
-    Result nc = run(power::SwitchKind::NormallyClosed, harvest);
+    const power::SwitchKind kinds[2] = {
+        power::SwitchKind::NormallyOpen,
+        power::SwitchKind::NormallyClosed};
+    sim::BatchRunner pool;
+    auto results = pool.map(2, [&](std::size_t i) {
+        return run(kinds[i], harvest);
+    });
+    const Result &no = results[0];
+    const Result &nc = results[1];
 
     sim::Table t({"variant", "task completed at (s)", "boots",
                   "latch reversions", "switch reconfigs",

@@ -35,8 +35,13 @@ main()
     auto sched = taSchedule(kSeed);
     double days = kTaHorizon / 86400.0;
 
-    RunMetrics fixed = runTempAlarm(Policy::Fixed, sched, kSeed);
-    RunMetrics capy = runTempAlarm(Policy::CapyP, sched, kSeed);
+    auto runs = runMetricsBatch(
+        {[&sched] { return runTempAlarm(Policy::Fixed, sched, kSeed); },
+         [&sched] {
+             return runTempAlarm(Policy::CapyP, sched, kSeed);
+         }});
+    const RunMetrics &fixed = runs[0];
+    const RunMetrics &capy = runs[1];
 
     // Fixed: the EDLC sits in the single "fixed" bank; Capybara: it
     // sits in the switched "big" bank.

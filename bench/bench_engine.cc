@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Engine performance harness: google-benchmark microbenchmarks of the
+ * event-queue hot path (schedule / cancel / runNext, callback
+ * dispatch) and of parallel sweep throughput, plus a machine-readable
+ * perf baseline.
+ *
+ * After the registered benchmarks run, the binary measures two
+ * headline numbers and writes them to BENCH_SIM.json (override the
+ * path with CAPY_BENCH_JSON):
+ *
+ *  - events/sec through EventQueue::schedule + runNext, and
+ *  - wall-clock for a TempAlarm sweep at 1 thread vs the configured
+ *    pool (CAPY_JOBS / hardware concurrency), with the speedup.
+ *
+ * The JSON seeds the repo's performance trajectory: future PRs append
+ * comparable snapshots instead of re-deriving a baseline by hand.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/ta.hh"
+#include "env/events.hh"
+#include "sim/event.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/runner.hh"
+#include "sim/simulator.hh"
+
+using namespace capy;
+
+namespace
+{
+
+// --- Event-queue hot path -------------------------------------------
+
+void
+BM_EventScheduleRun(benchmark::State &state)
+{
+    sim::EventQueue q;
+    double t = 0.0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            q.schedule(t + double(i % 7), [] {});
+        while (!q.empty())
+            q.runNext();
+        t += 10.0;
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventScheduleRun);
+
+void
+BM_EventScheduleCancel(benchmark::State &state)
+{
+    // Cancel-heavy traffic: every scheduled event is cancelled before
+    // it can run, exercising the O(1) slot bump and slot reuse.
+    sim::EventQueue q;
+    sim::EventId ids[64];
+    double t = 0.0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            ids[i] = q.schedule(t + double(i), [] {});
+        for (int i = 0; i < 64; ++i)
+            benchmark::DoNotOptimize(q.cancel(ids[i]));
+        // Drain the stale records so heap size stays bounded.
+        benchmark::DoNotOptimize(q.empty());
+        t += 100.0;
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventScheduleCancel);
+
+void
+BM_EventRetimerChurn(benchmark::State &state)
+{
+    // The device-model pattern: one pending timeout that is
+    // repeatedly cancelled and rescheduled as conditions change.
+    sim::EventQueue q;
+    double t = 0.0;
+    sim::EventId pending = q.schedule(1e18, [] {});
+    for (auto _ : state) {
+        q.cancel(pending);
+        pending = q.schedule(1e18 + t, [] {});
+        t += 1.0;
+        benchmark::DoNotOptimize(pending);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventRetimerChurn);
+
+void
+BM_CallbackInlineDispatch(benchmark::State &state)
+{
+    // A capture the size of a typical device callback (two pointers):
+    // must stay within Callback's inline buffer — no allocation.
+    std::uint64_t counter = 0;
+    double weight = 1.0;
+    static_assert(sim::Callback::fitsInline<decltype([&counter,
+                                                      &weight] {
+        counter += std::uint64_t(weight);
+    })>());
+    for (auto _ : state) {
+        sim::Callback cb([&counter, &weight] {
+            counter += std::uint64_t(weight);
+        });
+        cb();
+        benchmark::DoNotOptimize(counter);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CallbackInlineDispatch);
+
+// --- Sweep throughput -----------------------------------------------
+
+/** One TempAlarm run of the kind every fig bench sweeps over. */
+apps::RunMetrics
+sweepJob(std::uint64_t seed)
+{
+    sim::Rng rng(seed, 0x7a);
+    auto sched =
+        env::EventSchedule::poissonCount(rng, 10, 600.0, 30.0);
+    return apps::runTempAlarm(core::Policy::CapyP, sched, seed, 600.0);
+}
+
+void
+BM_SweepTempAlarm(benchmark::State &state)
+{
+    setQuiet(true);
+    auto threads = unsigned(state.range(0));
+    sim::BatchRunner pool(threads);
+    for (auto _ : state) {
+        auto runs = pool.map(8, [](std::size_t i) {
+            return sweepJob(std::uint64_t(i) + 1);
+        });
+        benchmark::DoNotOptimize(runs.front().summary.correct);
+    }
+    // Eight simulated runs of 600 s each per iteration.
+    state.SetItemsProcessed(state.iterations() * 8 * 600);
+}
+BENCHMARK(BM_SweepTempAlarm)
+    ->Arg(1)
+    ->Arg(int(sim::BatchRunner::defaultThreads()))
+    ->Unit(benchmark::kMillisecond);
+
+// --- Machine-readable baseline (BENCH_SIM.json) ---------------------
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Events/sec through schedule+runNext on a warm queue. */
+double
+measureEventRate(std::uint64_t &events_out)
+{
+    sim::EventQueue q;
+    std::uint64_t target = 2'000'000;
+    double t = 0.0;
+    auto t0 = std::chrono::steady_clock::now();
+    while (q.executed() < target) {
+        for (int i = 0; i < 64; ++i)
+            q.schedule(t + double(i % 7), [] {});
+        while (!q.empty())
+            q.runNext();
+        t += 10.0;
+    }
+    double dt = secondsSince(t0);
+    events_out = q.executed();
+    return double(q.executed()) / dt;
+}
+
+/** Wall-clock for the reference sweep at a given pool size. */
+double
+measureSweep(unsigned threads, std::size_t jobs)
+{
+    sim::BatchRunner pool(threads);
+    auto t0 = std::chrono::steady_clock::now();
+    auto runs = pool.map(jobs, [](std::size_t i) {
+        return sweepJob(std::uint64_t(i) + 1);
+    });
+    benchmark::DoNotOptimize(runs.back().summary.correct);
+    return secondsSince(t0);
+}
+
+void
+writeBaseline()
+{
+    const char *path = std::getenv("CAPY_BENCH_JSON");
+    if (path == nullptr)
+        path = "BENCH_SIM.json";
+
+    std::uint64_t hot_events = 0;
+    double events_per_sec = measureEventRate(hot_events);
+
+    unsigned pool_threads = sim::BatchRunner::defaultThreads();
+    const std::size_t jobs = 16;
+    // Warm-up pass so first-touch costs don't skew the serial side.
+    measureSweep(1, 2);
+    double serial_s = measureSweep(1, jobs);
+    double parallel_s = measureSweep(pool_threads, jobs);
+    double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"capy-bench-sim-v1\",\n");
+    std::fprintf(f, "  \"event_queue\": {\n");
+    std::fprintf(f, "    \"events_per_sec\": %.6g,\n", events_per_sec);
+    std::fprintf(f, "    \"events_measured\": %llu\n",
+                 (unsigned long long)hot_events);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"sweep\": {\n");
+    std::fprintf(f, "    \"workload\": \"TempAlarm CapyP 600s x%zu\",\n",
+                 jobs);
+    std::fprintf(f, "    \"jobs\": %zu,\n", jobs);
+    std::fprintf(f, "    \"serial_wall_s\": %.6g,\n", serial_s);
+    std::fprintf(f, "    \"parallel_wall_s\": %.6g,\n", parallel_s);
+    std::fprintf(f, "    \"threads\": %u,\n", pool_threads);
+    std::fprintf(f, "    \"speedup_vs_1_thread\": %.4g\n", speedup);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"hardware_concurrency\": %u\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("perf baseline written to %s (%.3g events/s, sweep "
+                "speedup %.2fx at %u threads)\n",
+                path, events_per_sec, speedup, pool_threads);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    writeBaseline();
+    return 0;
+}

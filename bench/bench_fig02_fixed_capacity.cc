@@ -22,6 +22,7 @@
 #include "rt/channel.hh"
 #include "rt/kernel.hh"
 #include "sim/logging.hh"
+#include "sim/runner.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
@@ -143,8 +144,13 @@ main()
          power::parts::tant330uF(),
          power::parts::edlc7_5mF().parallel(9)});
 
-    FixedRun low = run(low_bank, horizon);
-    FixedRun high = run(high_bank, horizon);
+    const power::CapacitorSpec banks[2] = {low_bank, high_bank};
+    sim::BatchRunner pool;
+    auto runs = pool.map(2, [&](std::size_t i) {
+        return run(banks[i], horizon);
+    });
+    const FixedRun &low = runs[0];
+    const FixedRun &high = runs[1];
 
     sim::Table t({"capacity", "C (mF)", "samples", "complete packets",
                   "failed tx attempts", "charge spans", "mean charge (s)",

@@ -19,6 +19,7 @@
 #include "power/power_system.hh"
 #include "power/solver.hh"
 #include "sim/logging.hh"
+#include "sim/runner.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 
@@ -90,9 +91,9 @@ main()
 
     std::vector<double> caps = {100e-6, 220e-6, 470e-6, 1e-3, 2.2e-3,
                                 4.7e-3, 6.8e-3, 10e-3};
-    std::vector<Point> points;
-    for (double c : caps)
-        points.push_back(measure(c));
+    sim::BatchRunner pool;
+    std::vector<Point> points =
+        pool.mapItems(caps, [](double c) { return measure(c); });
 
     double max_mops = points.back().mops;
     sim::Table t({"C (uF)", "atomicity (Mops)", "recharge (s)", ""});

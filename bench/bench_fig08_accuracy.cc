@@ -58,33 +58,35 @@ main()
                 ts.size(), kTaHorizon / 60.0, gs.size(),
                 kGrcHorizon / 60.0);
 
-    std::vector<AppRuns> apps;
-    {
-        AppRuns r{"TempAlarm", {}};
+    // One independent job per app x policy cell, fanned over the
+    // sweep pool; results come back in submission order so the table
+    // is identical at any CAPY_JOBS.
+    std::vector<MetricsJob> jobs;
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back([&ts, p = kPolicies[i]] {
+            return runTempAlarm(p, ts, kSeed);
+        });
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back([&gs, p = kPolicies[i]] {
+            return runGestureRemote(GrcVariant::Fast, p, gs, kSeed);
+        });
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back([&gs, p = kPolicies[i]] {
+            return runGestureRemote(GrcVariant::Compact, p, gs, kSeed);
+        });
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back([&gs, p = kPolicies[i]] {
+            return runCorrSense(p, gs, kSeed);
+        });
+    auto results = runMetricsBatch(jobs);
+
+    std::vector<AppRuns> apps = {{"TempAlarm", {}},
+                                 {"GestureFast", {}},
+                                 {"GestureCompact", {}},
+                                 {"CorrSense", {}}};
+    for (std::size_t a = 0; a < apps.size(); ++a)
         for (int i = 0; i < 4; ++i)
-            r.byPolicy[i] = runTempAlarm(kPolicies[i], ts, kSeed);
-        apps.push_back(r);
-    }
-    {
-        AppRuns r{"GestureFast", {}};
-        for (int i = 0; i < 4; ++i)
-            r.byPolicy[i] = runGestureRemote(GrcVariant::Fast,
-                                             kPolicies[i], gs, kSeed);
-        apps.push_back(r);
-    }
-    {
-        AppRuns r{"GestureCompact", {}};
-        for (int i = 0; i < 4; ++i)
-            r.byPolicy[i] = runGestureRemote(GrcVariant::Compact,
-                                             kPolicies[i], gs, kSeed);
-        apps.push_back(r);
-    }
-    {
-        AppRuns r{"CorrSense", {}};
-        for (int i = 0; i < 4; ++i)
-            r.byPolicy[i] = runCorrSense(kPolicies[i], gs, kSeed);
-        apps.push_back(r);
-    }
+            apps[a].byPolicy[i] = results[a * 4 + std::size_t(i)];
 
     sim::Table t({"app", "system", "correct", "misclassified",
                   "proximity-only", "missed", ""});

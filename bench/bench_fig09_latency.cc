@@ -57,13 +57,28 @@ main()
     const Policy pols[4] = {Policy::Continuous, Policy::Fixed,
                             Policy::CapyR, Policy::CapyP};
 
-    RunMetrics ta[4], gf[4], gc[4], cs[4];
+    // 16 independent runs dispatched as one parallel batch; results
+    // return in submission order (4 per app, policy-major).
+    std::vector<MetricsJob> jobs;
     for (int i = 0; i < 4; ++i) {
-        ta[i] = runTempAlarm(pols[i], ts, kSeed);
-        gf[i] = runGestureRemote(GrcVariant::Fast, pols[i], gs, kSeed);
-        gc[i] = runGestureRemote(GrcVariant::Compact, pols[i], gs,
-                                 kSeed);
-        cs[i] = runCorrSense(pols[i], gs, kSeed);
+        Policy p = pols[i];
+        jobs.push_back([&ts, p] { return runTempAlarm(p, ts, kSeed); });
+        jobs.push_back([&gs, p] {
+            return runGestureRemote(GrcVariant::Fast, p, gs, kSeed);
+        });
+        jobs.push_back([&gs, p] {
+            return runGestureRemote(GrcVariant::Compact, p, gs, kSeed);
+        });
+        jobs.push_back([&gs, p] { return runCorrSense(p, gs, kSeed); });
+    }
+    auto results = runMetricsBatch(jobs);
+
+    RunMetrics ta[4], gf[4], gc[4], cs[4];
+    for (std::size_t i = 0; i < 4; ++i) {
+        ta[i] = results[i * 4 + 0];
+        gf[i] = results[i * 4 + 1];
+        gc[i] = results[i * 4 + 2];
+        cs[i] = results[i * 4 + 3];
     }
 
     sim::Table t({"app", "system", "reported", "mean (s)", "min (s)",

@@ -50,19 +50,31 @@ main()
     sim::Table ta_table({"mean inter-arrival (s)", "events", "Pwr",
                          "Fixed", "Capy-R", "Capy-P"});
     std::vector<double> ta_means = {100, 150, 200, 250, 300, 400};
+    const Policy ta_pols[4] = {Policy::Continuous, Policy::Fixed,
+                               Policy::CapyR, Policy::CapyP};
+    // Schedules are drawn serially (cheap, deterministic); the
+    // mean x policy grid of runs fans out as one parallel batch.
+    std::vector<env::EventSchedule> ta_scheds;
+    for (double mean : ta_means)
+        ta_scheds.push_back(schedule(mean, 30, std::uint64_t(mean)));
+    std::vector<MetricsJob> ta_jobs;
+    for (std::size_t mi = 0; mi < ta_means.size(); ++mi)
+        for (Policy p : ta_pols)
+            ta_jobs.push_back([&ta_scheds, &ta_means, mi, p] {
+                return runTempAlarm(p, ta_scheds[mi], kSeed,
+                                    ta_means[mi] * 30.0);
+            });
+    auto ta_runs = runMetricsBatch(ta_jobs);
+
     std::vector<std::vector<double>> ta_frac;
-    for (double mean : ta_means) {
-        auto sched = schedule(mean, 30, std::uint64_t(mean));
-        double horizon = mean * 30.0;
+    for (std::size_t mi = 0; mi < ta_means.size(); ++mi) {
         std::vector<double> fr;
-        for (Policy p : {Policy::Continuous, Policy::Fixed,
-                         Policy::CapyR, Policy::CapyP}) {
-            fr.push_back(runTempAlarm(p, sched, kSeed, horizon)
-                             .summary.fracCorrect);
-        }
+        for (std::size_t pi = 0; pi < 4; ++pi)
+            fr.push_back(
+                ta_runs[mi * 4 + pi].summary.fracCorrect);
         ta_frac.push_back(fr);
-        ta_table.addRow({sim::cell(mean, 4),
-                         sim::cell(std::uint64_t(sched.size())),
+        ta_table.addRow({sim::cell(ta_means[mi], 4),
+                         sim::cell(std::uint64_t(ta_scheds[mi].size())),
                          sim::percentCell(fr[0]), sim::percentCell(fr[1]),
                          sim::percentCell(fr[2]),
                          sim::percentCell(fr[3])});
@@ -74,20 +86,30 @@ main()
     sim::Table g_table({"mean inter-arrival (s)", "events", "Pwr",
                         "Fixed", "Capy-P"});
     std::vector<double> g_means = {10, 15, 20, 25, 30};
+    const Policy g_pols[3] = {Policy::Continuous, Policy::Fixed,
+                              Policy::CapyP};
+    std::vector<env::EventSchedule> g_scheds;
+    for (double mean : g_means)
+        g_scheds.push_back(
+            schedule(mean, 60, std::uint64_t(mean) + 1000));
+    std::vector<MetricsJob> g_jobs;
+    for (std::size_t mi = 0; mi < g_means.size(); ++mi)
+        for (Policy p : g_pols)
+            g_jobs.push_back([&g_scheds, &g_means, mi, p] {
+                return runGestureRemote(GrcVariant::Fast, p,
+                                        g_scheds[mi], kSeed,
+                                        g_means[mi] * 60.0);
+            });
+    auto g_runs = runMetricsBatch(g_jobs);
+
     std::vector<std::vector<double>> g_frac;
-    for (double mean : g_means) {
-        auto sched = schedule(mean, 60, std::uint64_t(mean) + 1000);
-        double horizon = mean * 60.0;
+    for (std::size_t mi = 0; mi < g_means.size(); ++mi) {
         std::vector<double> fr;
-        for (Policy p : {Policy::Continuous, Policy::Fixed,
-                         Policy::CapyP}) {
-            fr.push_back(runGestureRemote(GrcVariant::Fast, p, sched,
-                                          kSeed, horizon)
-                             .summary.fracCorrect);
-        }
+        for (std::size_t pi = 0; pi < 3; ++pi)
+            fr.push_back(g_runs[mi * 3 + pi].summary.fracCorrect);
         g_frac.push_back(fr);
-        g_table.addRow({sim::cell(mean, 4),
-                        sim::cell(std::uint64_t(sched.size())),
+        g_table.addRow({sim::cell(g_means[mi], 4),
+                        sim::cell(std::uint64_t(g_scheds[mi].size())),
                         sim::percentCell(fr[0]), sim::percentCell(fr[1]),
                         sim::percentCell(fr[2])});
     }

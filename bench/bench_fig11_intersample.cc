@@ -115,12 +115,15 @@ main()
     auto sched =
         env::EventSchedule::poissonCount(rng, 20, kTaHorizon, 60.0);
 
-    Dist fixed =
-        analyze("Fixed", runTempAlarm(Policy::Fixed, sched, kSeed));
-    Dist capy_r =
-        analyze("Capy-R", runTempAlarm(Policy::CapyR, sched, kSeed));
-    Dist capy_p =
-        analyze("Capy-P", runTempAlarm(Policy::CapyP, sched, kSeed));
+    auto runs = runMetricsBatch(
+        {[&sched] { return runTempAlarm(Policy::Fixed, sched, kSeed); },
+         [&sched] { return runTempAlarm(Policy::CapyR, sched, kSeed); },
+         [&sched] {
+             return runTempAlarm(Policy::CapyP, sched, kSeed);
+         }});
+    Dist fixed = analyze("Fixed", std::move(runs[0]));
+    Dist capy_r = analyze("Capy-R", std::move(runs[1]));
+    Dist capy_p = analyze("Capy-P", std::move(runs[2]));
 
     sim::Table t({"system", "back-to-back (<1s)", "1-4 s gaps",
                   ">4 s gaps", ">4 s w/ missed event",

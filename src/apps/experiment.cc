@@ -57,6 +57,20 @@ collectMetrics(RunMetrics &out, const env::Scoreboard &sb,
     out.taskEnergy = kernel.energyByTask();
 }
 
+sim::BatchRunner &
+sweepPool()
+{
+    static sim::BatchRunner pool;
+    return pool;
+}
+
+std::vector<RunMetrics>
+runMetricsBatch(const std::vector<MetricsJob> &jobs)
+{
+    return sweepPool().map(jobs.size(),
+                           [&](std::size_t i) { return jobs[i](); });
+}
+
 std::uint64_t
 bankCyclesFor(const RunMetrics &m, const std::string &bank_name)
 {

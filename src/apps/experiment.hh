@@ -7,6 +7,7 @@
 #ifndef CAPY_APPS_EXPERIMENT_HH
 #define CAPY_APPS_EXPERIMENT_HH
 
+#include <functional>
 #include <map>
 #include <string>
 #include <utility>
@@ -18,6 +19,7 @@
 #include "env/events.hh"
 #include "env/scoring.hh"
 #include "rt/kernel.hh"
+#include "sim/runner.hh"
 
 namespace capy::apps
 {
@@ -72,6 +74,22 @@ void collectMetrics(RunMetrics &out, const env::Scoreboard &sb,
 /** Look up a bank's recorded cycles in @p m; 0 when absent. */
 std::uint64_t bankCyclesFor(const RunMetrics &m,
                             const std::string &bank_name);
+
+/** A deferred application run producing its metrics. */
+using MetricsJob = std::function<RunMetrics()>;
+
+/**
+ * Run independent application sweeps in parallel on the shared sweep
+ * pool (sized by CAPY_JOBS / hardware concurrency) and return the
+ * results in submission order, so tables built from them are
+ * byte-identical at any thread count. Jobs must be independent: each
+ * builds its own Simulator/Device/Kernel stack internally.
+ */
+std::vector<RunMetrics> runMetricsBatch(
+    const std::vector<MetricsJob> &jobs);
+
+/** The process-wide sweep pool used by runMetricsBatch(). */
+sim::BatchRunner &sweepPool();
 
 } // namespace capy::apps
 

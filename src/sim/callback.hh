@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Small-buffer callable holder for event callbacks.
+ *
+ * Replaces std::function<void()> on the event hot path. Callables up
+ * to kInlineSize bytes — the common case of a lambda capturing a
+ * couple of pointers — are stored inside the Callback object itself,
+ * so scheduling an event performs no heap allocation. Larger
+ * callables fall back to a single heap allocation transparently.
+ */
+
+#ifndef CAPY_SIM_CALLBACK_HH
+#define CAPY_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace capy::sim
+{
+
+/**
+ * Move-only type-erased void() callable with small-buffer storage.
+ *
+ * Invariants mirror std::function minus copyability: a default-
+ * constructed Callback is empty (operator bool() == false) and must
+ * not be invoked; a moved-from Callback is empty.
+ */
+class Callback
+{
+  public:
+    /** Inline capture budget: six pointers/doubles worth of state. */
+    static constexpr std::size_t kInlineSize = 48;
+
+    Callback() noexcept = default;
+
+    /** Wrap any void-invocable @p f, inline when it fits. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, Callback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    Callback(F &&f)  // NOLINT: implicit, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf)) Fn(std::forward<F>(f));
+            ops = &inlineOps<Fn>;
+        } else {
+            ::new (static_cast<void *>(buf))
+                Fn *(new Fn(std::forward<F>(f)));
+            ops = &heapOps<Fn>;
+        }
+    }
+
+    Callback(Callback &&other) noexcept { moveFrom(other); }
+
+    Callback &
+    operator=(Callback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    Callback(const Callback &) = delete;
+    Callback &operator=(const Callback &) = delete;
+
+    ~Callback() { reset(); }
+
+    /** @retval true when a callable is held. */
+    explicit operator bool() const noexcept { return ops != nullptr; }
+
+    /** Invoke the held callable; empty Callbacks must not be called. */
+    void operator()() { ops->invoke(buf); }
+
+    /** Whether a callable of type Fn avoids the heap fallback. */
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineSize &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct into @p dst from @p src, destroying src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    template <typename Fn> static const Ops inlineOps;
+    template <typename Fn> static const Ops heapOps;
+
+    void
+    moveFrom(Callback &other) noexcept
+    {
+        ops = other.ops;
+        if (ops)
+            ops->relocate(buf, other.buf);
+        other.ops = nullptr;
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ops) {
+            ops->destroy(buf);
+            ops = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf[kInlineSize];
+    const Ops *ops = nullptr;
+};
+
+template <typename Fn>
+inline const Callback::Ops Callback::inlineOps = {
+    [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+    [](void *dst, void *src) noexcept {
+        Fn *from = std::launder(reinterpret_cast<Fn *>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+    },
+    [](void *p) noexcept {
+        std::launder(reinterpret_cast<Fn *>(p))->~Fn();
+    },
+};
+
+template <typename Fn>
+inline const Callback::Ops Callback::heapOps = {
+    [](void *p) { (**std::launder(reinterpret_cast<Fn **>(p)))(); },
+    [](void *dst, void *src) noexcept {
+        ::new (dst)
+            Fn *(*std::launder(reinterpret_cast<Fn **>(src)));
+    },
+    [](void *p) noexcept {
+        delete *std::launder(reinterpret_cast<Fn **>(p));
+    },
+};
+
+} // namespace capy::sim
+
+#endif // CAPY_SIM_CALLBACK_HH

@@ -8,37 +8,57 @@ namespace capy::sim
 {
 
 EventId
-EventQueue::schedule(Time when, std::function<void()> fn)
+EventQueue::schedule(Time when, Callback fn)
 {
-    capy_assert(fn != nullptr, "scheduled a null callback");
-    EventId id = nextId++;
+    capy_assert(static_cast<bool>(fn), "scheduled a null callback");
+    std::uint32_t slot;
+    if (!freeSlots.empty()) {
+        slot = freeSlots.back();
+        freeSlots.pop_back();
+    } else {
+        slot = std::uint32_t(slots.size());
+        slots.push_back(Slot{});
+    }
+    Slot &s = slots[slot];
+    s.live = true;
+    EventId id = makeId(slot, s.gen);
     heap.push(Record{when, nextSeq++, id, std::move(fn)});
-    pendingIds.insert(id);
+    ++pendingCount;
     return id;
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    auto it = pendingIds.find(id);
-    if (it == pendingIds.end())
+    if (id == kInvalidEvent)
         return false;
-    pendingIds.erase(it);
-    cancelled.insert(id);
+    std::uint32_t slot = slotOf(id);
+    if (slot >= slots.size())
+        return false;
+    const Slot &s = slots[slot];
+    if (!s.live || s.gen != genOf(id))
+        return false;
+    // The heap record becomes stale and is dropped lazily when it
+    // reaches the head; the slot is reusable immediately.
+    retire(slot);
     return true;
+}
+
+bool
+EventQueue::isPending(EventId id) const
+{
+    if (id == kInvalidEvent)
+        return false;
+    std::uint32_t slot = slotOf(id);
+    return slot < slots.size() && slots[slot].live &&
+           slots[slot].gen == genOf(id);
 }
 
 void
 EventQueue::skipCancelled() const
 {
-    while (!heap.empty()) {
-        const Record &top = heap.top();
-        auto it = cancelled.find(top.id);
-        if (it == cancelled.end())
-            return;
-        cancelled.erase(it);
+    while (!heap.empty() && stale(heap.top()))
         heap.pop();
-    }
 }
 
 bool
@@ -65,7 +85,8 @@ EventQueue::runNext()
     // further events (which can reallocate the heap) safely.
     Record rec = std::move(const_cast<Record &>(heap.top()));
     heap.pop();
-    pendingIds.erase(rec.id);
+    capy_assert(!stale(rec), "executing a stale event record");
+    retire(slotOf(rec.id));
     ++numExecuted;
     rec.fn();
     return rec.when;

@@ -1,17 +1,25 @@
 /**
  * @file
  * Discrete-event queue: time-ordered callbacks with stable FIFO
- * ordering among simultaneous events and O(log n) cancellation.
+ * ordering among simultaneous events and O(1) cancellation.
+ *
+ * Bookkeeping uses generation-counted slot records instead of hash
+ * sets: every event occupies a small slot whose generation counter is
+ * bumped when the event runs or is cancelled, so a heap record whose
+ * embedded generation no longer matches its slot is stale and gets
+ * skipped lazily at the head of the heap. Cancel is a counter bump,
+ * and slots recycle through a free list, so long-lived simulators
+ * with heavy cancel traffic retain no tombstone state.
  */
 
 #ifndef CAPY_SIM_EVENT_HH
 #define CAPY_SIM_EVENT_HH
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
+
+#include "sim/callback.hh"
 
 namespace capy::sim
 {
@@ -37,7 +45,7 @@ class EventQueue
      * Schedule @p fn to run at absolute time @p when.
      * @return a handle usable with cancel().
      */
-    EventId schedule(Time when, std::function<void()> fn);
+    EventId schedule(Time when, Callback fn);
 
     /**
      * Cancel a previously scheduled event.
@@ -63,10 +71,15 @@ class EventQueue
     std::uint64_t executed() const { return numExecuted; }
 
     /** Number of events currently pending (excludes cancelled). */
-    std::size_t pending() const { return pendingIds.size(); }
+    std::size_t pending() const { return pendingCount; }
 
     /** @retval true if @p id refers to a still-pending event. */
-    bool isPending(EventId id) const { return pendingIds.contains(id); }
+    bool isPending(EventId id) const;
+
+    /** Slots allocated over the queue's lifetime (bookkeeping bound:
+     *  never exceeds the peak number of simultaneously pending
+     *  events). */
+    std::size_t slotCapacity() const { return slots.size(); }
 
   private:
     struct Record
@@ -74,7 +87,16 @@ class EventQueue
         Time when;
         std::uint64_t seq;
         EventId id;
-        std::function<void()> fn;
+        Callback fn;
+    };
+
+    /** Per-slot liveness: gen changes whenever the slot's current
+     *  event ends (runs or is cancelled), invalidating old handles
+     *  and any stale heap record. */
+    struct Slot
+    {
+        std::uint32_t gen = 0;
+        bool live = false;
     };
 
     struct Later
@@ -88,14 +110,53 @@ class EventQueue
         }
     };
 
-    /** Drop cancelled records from the head of the heap. */
+    /** An EventId packs (generation, slot + 1) so that 0 stays
+     *  invalid and handles from recycled slots never compare equal. */
+    static EventId
+    makeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (EventId(gen) << 32) | EventId(slot + 1);
+    }
+
+    static std::uint32_t
+    slotOf(EventId id)
+    {
+        return std::uint32_t(id & 0xffffffffu) - 1;
+    }
+
+    static std::uint32_t
+    genOf(EventId id)
+    {
+        return std::uint32_t(id >> 32);
+    }
+
+    /** A heap record whose slot moved on (ran/cancelled/recycled). */
+    bool
+    stale(const Record &rec) const
+    {
+        const Slot &s = slots[slotOf(rec.id)];
+        return !s.live || s.gen != genOf(rec.id);
+    }
+
+    /** Retire @p slot: invalidate its handles and recycle it. */
+    void
+    retire(std::uint32_t slot)
+    {
+        Slot &s = slots[slot];
+        s.live = false;
+        ++s.gen;
+        freeSlots.push_back(slot);
+        --pendingCount;
+    }
+
+    /** Drop stale records from the head of the heap. */
     void skipCancelled() const;
 
     mutable std::priority_queue<Record, std::vector<Record>, Later> heap;
-    mutable std::unordered_set<EventId> cancelled;
-    std::unordered_set<EventId> pendingIds;
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> freeSlots;
+    std::size_t pendingCount = 0;
     std::uint64_t nextSeq = 0;
-    EventId nextId = 1;
     std::uint64_t numExecuted = 0;
 };
 

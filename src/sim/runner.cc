@@ -1,0 +1,116 @@
+#include "sim/runner.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace capy::sim
+{
+
+unsigned
+BatchRunner::defaultThreads()
+{
+    if (const char *env = std::getenv("CAPY_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1 && v <= 4096)
+            return unsigned(v);
+        capy_warn("ignoring invalid CAPY_JOBS value '%s'", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+BatchRunner::BatchRunner(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    workers.reserve(threads - 1);
+    for (unsigned i = 1; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+BatchRunner::~BatchRunner()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        capy_assert(batchSize == 0,
+                    "BatchRunner destroyed with a batch in flight");
+        shuttingDown = true;
+    }
+    wake.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+BatchRunner::runOne(std::size_t index,
+                    std::unique_lock<std::mutex> &lock)
+{
+    const std::function<void(std::size_t)> *fn = body;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+        (*fn)(index);
+    } catch (...) {
+        err = std::current_exception();
+    }
+    lock.lock();
+    if (err)
+        errors.emplace_back(index, err);
+    if (--remaining == 0)
+        batchDone.notify_all();
+}
+
+void
+BatchRunner::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    for (;;) {
+        wake.wait(lock, [this] {
+            return shuttingDown || nextIndex < batchSize;
+        });
+        if (shuttingDown)
+            return;
+        while (nextIndex < batchSize)
+            runOne(nextIndex++, lock);
+    }
+}
+
+void
+BatchRunner::forEach(std::size_t n,
+                     const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    std::unique_lock<std::mutex> lock(mtx);
+    capy_assert(batchSize == 0,
+                "BatchRunner batches may not be nested");
+    body = &fn;
+    batchSize = n;
+    nextIndex = 0;
+    remaining = n;
+    errors.clear();
+    if (!workers.empty())
+        wake.notify_all();
+    // The submitting thread is a full pool member.
+    while (nextIndex < batchSize)
+        runOne(nextIndex++, lock);
+    batchDone.wait(lock, [this] { return remaining == 0; });
+    batchSize = 0;
+    body = nullptr;
+    if (!errors.empty()) {
+        auto it = std::min_element(
+            errors.begin(), errors.end(),
+            [](const auto &a, const auto &b) {
+                return a.first < b.first;
+            });
+        std::exception_ptr err = it->second;
+        errors.clear();
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+} // namespace capy::sim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic parallel batch execution for independent simulations.
+ *
+ * Every experiment in the evaluation is a sweep of independent runs
+ * (seeds x policies x capacitances); BatchRunner fans a batch of such
+ * jobs over a fixed pool of threads and hands the results back in
+ * submission order, so sweep output is byte-identical at any thread
+ * count. There is no work stealing and no shared mutable state
+ * between jobs: each job owns its Simulator, and determinism follows
+ * from job independence plus index-ordered result placement.
+ */
+
+#ifndef CAPY_SIM_RUNNER_HH
+#define CAPY_SIM_RUNNER_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace capy::sim
+{
+
+/**
+ * Fixed-size thread pool running batches of independent jobs.
+ *
+ * The calling thread participates in every batch, so a runner built
+ * with 1 thread spawns no workers and degenerates to the plain serial
+ * loop. Jobs must not touch shared mutable state; each receives its
+ * job index and may be executed on any pool thread.
+ *
+ * Exceptions thrown by jobs are captured and rethrown to the batch
+ * submitter after the batch drains; when several jobs throw, the one
+ * with the lowest index wins so failure reporting is deterministic
+ * too.
+ */
+class BatchRunner
+{
+  public:
+    /**
+     * @param threads pool size including the calling thread;
+     *        0 picks defaultThreads().
+     */
+    explicit BatchRunner(unsigned threads = 0);
+
+    /** Joins all workers; no batch may be in flight. */
+    ~BatchRunner();
+
+    BatchRunner(const BatchRunner &) = delete;
+    BatchRunner &operator=(const BatchRunner &) = delete;
+
+    /** Pool size including the calling thread. */
+    unsigned threads() const { return unsigned(workers.size()) + 1; }
+
+    /**
+     * Pool size used when none is requested: the CAPY_JOBS
+     * environment variable when set to a positive integer, otherwise
+     * std::thread::hardware_concurrency().
+     */
+    static unsigned defaultThreads();
+
+    /**
+     * Run fn(0) .. fn(n-1) across the pool; blocks until all complete.
+     * Not reentrant: jobs must not submit nested batches.
+     */
+    void forEach(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Run fn(i) for i in [0, n) and collect the returned values in
+     * submission (index) order. The result type must be default-
+     * constructible.
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t n, Fn &&fn)
+        -> std::vector<decltype(fn(std::size_t{}))>
+    {
+        using R = decltype(fn(std::size_t{}));
+        std::vector<R> out(n);
+        forEach(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /** map() over a vector of inputs: fn(items[i]) in item order. */
+    template <typename T, typename Fn>
+    auto
+    mapItems(const std::vector<T> &items, Fn &&fn)
+        -> std::vector<decltype(fn(items.front()))>
+    {
+        return map(items.size(),
+                   [&](std::size_t i) { return fn(items[i]); });
+    }
+
+  private:
+    void workerLoop();
+    void runOne(std::size_t index, std::unique_lock<std::mutex> &lock);
+
+    std::vector<std::thread> workers;
+
+    std::mutex mtx;
+    std::condition_variable wake;      ///< workers: batch available
+    std::condition_variable batchDone; ///< submitter: batch drained
+    const std::function<void(std::size_t)> *body = nullptr;
+    std::size_t batchSize = 0; ///< 0 = no batch in flight
+    std::size_t nextIndex = 0;
+    std::size_t remaining = 0;
+    bool shuttingDown = false;
+    /** (job index, exception) pairs captured during the batch. */
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+};
+
+} // namespace capy::sim
+
+#endif // CAPY_SIM_RUNNER_HH

@@ -8,14 +8,14 @@ namespace capy::sim
 {
 
 EventId
-Simulator::schedule(Time delay, std::function<void()> fn)
+Simulator::schedule(Time delay, Callback fn)
 {
     capy_assert(delay >= 0.0, "negative delay %g", delay);
     return queue.schedule(currentTime + delay, std::move(fn));
 }
 
 EventId
-Simulator::scheduleAt(Time when, std::function<void()> fn)
+Simulator::scheduleAt(Time when, Callback fn)
 {
     capy_assert(when >= currentTime,
                 "scheduleAt(%g) is in the past (now %g)", when,

@@ -7,8 +7,6 @@
 #ifndef CAPY_SIM_SIMULATOR_HH
 #define CAPY_SIM_SIMULATOR_HH
 
-#include <functional>
-
 #include "sim/event.hh"
 
 namespace capy::sim
@@ -32,13 +30,13 @@ class Simulator
      * Schedule @p fn to run @p delay seconds from now.
      * @pre delay >= 0.
      */
-    EventId schedule(Time delay, std::function<void()> fn);
+    EventId schedule(Time delay, Callback fn);
 
     /**
      * Schedule @p fn at absolute time @p when.
      * @pre when >= now().
      */
-    EventId scheduleAt(Time when, std::function<void()> fn);
+    EventId scheduleAt(Time when, Callback fn);
 
     /** Cancel a pending event. @sa EventQueue::cancel */
     bool cancel(EventId id) { return queue.cancel(id); }

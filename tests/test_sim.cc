@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/event.hh"
@@ -101,6 +103,170 @@ TEST(EventQueue, PendingCountTracksLifecycle)
     q.runNext();
     EXPECT_EQ(q.pending(), 0u);
     EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(EventQueue, CancelledSlotIsRecycledWithFreshIdentity)
+{
+    EventQueue q;
+    bool b_ran = false;
+    EventId a = q.schedule(1.0, [] {});
+    EXPECT_TRUE(q.cancel(a));
+    EventId b = q.schedule(2.0, [&] { b_ran = true; });
+    // The slot is reused but the handle generation differs, so the
+    // old handle neither matches nor can cancel the new event.
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(q.isPending(a));
+    EXPECT_TRUE(q.isPending(b));
+    EXPECT_FALSE(q.cancel(a));
+    EXPECT_TRUE(q.isPending(b));
+    q.runNext();
+    EXPECT_TRUE(b_ran);
+    EXPECT_LE(q.slotCapacity(), 1u);
+}
+
+TEST(EventQueue, HeavyCancelTrafficRetainsNoTombstones)
+{
+    // A long-lived simulator that schedules and cancels a timeout
+    // over and over (the device-model retimer pattern) must keep its
+    // bookkeeping bounded and exact: one slot, zero pending.
+    EventQueue q;
+    for (int i = 0; i < 10000; ++i) {
+        EventId id = q.schedule(double(i), [] {});
+        EXPECT_TRUE(q.cancel(id));
+        EXPECT_EQ(q.pending(), 0u);
+        EXPECT_TRUE(q.empty());
+    }
+    EXPECT_LE(q.slotCapacity(), 1u);
+    EXPECT_EQ(q.executed(), 0u);
+    // The queue still works normally afterwards.
+    bool ran = false;
+    q.schedule(1.0, [&] { ran = true; });
+    EXPECT_EQ(q.pending(), 1u);
+    q.runNext();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, PendingBookkeepingStaysExactUnderInterleaving)
+{
+    EventQueue q;
+    std::vector<EventId> live;
+    std::size_t expected = 0;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 10; ++i) {
+            live.push_back(q.schedule(double(round * 10 + i), [] {}));
+            ++expected;
+        }
+        // Cancel every other handle from this round.
+        for (int i = 0; i < 10; i += 2) {
+            EXPECT_TRUE(q.cancel(live[live.size() - 10 + size_t(i)]));
+            --expected;
+        }
+        // Run two events.
+        for (int i = 0; i < 2 && !q.empty(); ++i) {
+            q.runNext();
+            --expected;
+        }
+        EXPECT_EQ(q.pending(), expected);
+    }
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, SequentialChainReusesOneSlot)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 200)
+            q.schedule(double(count), chain);
+    };
+    q.schedule(0.0, chain);
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(count, 200);
+    // Each event's slot retires before the next is scheduled.
+    EXPECT_LE(q.slotCapacity(), 2u);
+}
+
+TEST(EventQueue, CancelFromCallbackOfSimultaneousEvent)
+{
+    EventQueue q;
+    bool second_ran = false;
+    EventId second = 0;
+    q.schedule(1.0, [&] { EXPECT_TRUE(q.cancel(second)); });
+    second = q.schedule(1.0, [&] { second_ran = true; });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_FALSE(second_ran);
+    EXPECT_EQ(q.executed(), 1u);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, ExecutedExcludesCancelledEvents)
+{
+    EventQueue q;
+    EventId a = q.schedule(1.0, [] {});
+    q.schedule(2.0, [] {});
+    EventId c = q.schedule(3.0, [] {});
+    q.cancel(a);
+    q.cancel(c);
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(EventQueue, MoveOnlyCallbackCaptures)
+{
+    // Callback does not require copyable callables the way
+    // std::function does.
+    EventQueue q;
+    auto payload = std::make_unique<int>(41);
+    int seen = 0;
+    q.schedule(1.0, [p = std::move(payload), &seen] { seen = *p + 1; });
+    q.runNext();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(Callback, InlineAndHeapCallablesBothInvoke)
+{
+    int x = 0;
+    Callback small([&x] { ++x; });
+    EXPECT_TRUE(static_cast<bool>(small));
+    small();
+    EXPECT_EQ(x, 1);
+
+    // Oversized capture forces the heap fallback path.
+    struct Big
+    {
+        double pad[16];
+    } big{};
+    big.pad[0] = 2.0;
+    Callback large([&x, big] { x += int(big.pad[0]); });
+    large();
+    EXPECT_EQ(x, 3);
+
+    // Moving transfers the callable and empties the source.
+    Callback moved = std::move(small);
+    EXPECT_FALSE(static_cast<bool>(small));
+    moved();
+    EXPECT_EQ(x, 4);
+}
+
+TEST(Callback, TypicalEventCapturesFitInline)
+{
+    // The captures the simulator schedules on the hot path (a `this`
+    // pointer plus a couple of words) must not allocate.
+    struct Dev
+    {
+        void tick() {}
+    } dev;
+    double when = 1.0;
+    auto cb = [&dev, when] {
+        dev.tick();
+        (void)when;
+    };
+    static_assert(Callback::fitsInline<decltype(cb)>());
 }
 
 TEST(EventQueue, CallbackMaySchedule)

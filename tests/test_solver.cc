@@ -193,6 +193,76 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(-5e-3, -1e-4, 1e-4, 5e-3),
                        ::testing::Values(1e4, 5e5, kNever)));
 
+TEST(Solver, TargetAboveSteadyStateWithLeakIsNever)
+{
+    // Einf = P R C / 2 = 0.1 J; from below, anything at or above the
+    // asymptote is unreachable — including the asymptote itself,
+    // which is only approached asymptotically.
+    Phase ph{2e-3, 1e-3, 1e5};
+    ASSERT_DOUBLE_EQ(steadyStateEnergy(ph), 0.1);
+    EXPECT_TRUE(std::isinf(timeToEnergy(0.02, 0.15, ph)));
+    EXPECT_TRUE(std::isinf(timeToEnergy(0.02, 0.1, ph)));
+    // Just below the asymptote is reachable, and consistent.
+    double t = timeToEnergy(0.02, 0.0999, ph);
+    ASSERT_TRUE(std::isfinite(t));
+    EXPECT_NEAR(advanceEnergy(0.02, ph, t), 0.0999, 1e-12);
+}
+
+TEST(Solver, StartingAtSteadyStateNeverMoves)
+{
+    Phase ph{2e-3, 1e-3, 1e5};
+    double einf = steadyStateEnergy(ph);
+    EXPECT_TRUE(std::isinf(timeToEnergy(einf, 0.05, ph)));
+    EXPECT_TRUE(std::isinf(timeToEnergy(einf, 0.15, ph)));
+    EXPECT_NEAR(advanceEnergy(einf, ph, 100.0), einf, einf * 1e-12);
+}
+
+TEST(Solver, LosslessDrainReachesZeroExactly)
+{
+    // dE/dt = -P: crossing time is e0/|P|, after which the energy
+    // clamps at zero and stays there.
+    Phase drain{-4e-3, 1e-3, kNever};
+    double t = timeToEnergy(0.02, 0.0, drain);
+    EXPECT_DOUBLE_EQ(t, 5.0);
+    EXPECT_DOUBLE_EQ(advanceEnergy(0.02, drain, t), 0.0);
+    EXPECT_DOUBLE_EQ(advanceEnergy(0.02, drain, 2.0 * t), 0.0);
+    EXPECT_DOUBLE_EQ(advanceEnergy(0.0, drain, 1.0), 0.0);
+}
+
+TEST(Solver, LeakyDischargeCrossesZeroAndClamps)
+{
+    // With P < 0 and finite leak the asymptote is below zero, so the
+    // trajectory crosses E = 0 in finite time and clamps there.
+    Phase ph{-1e-3, 1e-3, 1e5};
+    double t = timeToEnergy(0.01, 0.0, ph);
+    ASSERT_TRUE(std::isfinite(t));
+    EXPECT_NEAR(advanceEnergy(0.01, ph, t), 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(advanceEnergy(0.01, ph, t * 2.0), 0.0);
+}
+
+TEST(Solver, ZeroPowerTrajectories)
+{
+    // Lossless with no power: static forever.
+    Phase idle{0.0, 1e-3, kNever};
+    EXPECT_TRUE(std::isinf(timeToEnergy(0.01, 0.02, idle)));
+    EXPECT_TRUE(std::isinf(timeToEnergy(0.01, 0.005, idle)));
+    EXPECT_DOUBLE_EQ(advanceEnergy(0.01, idle, 1e6), 0.01);
+    // Leak only: decays toward zero, upward targets unreachable.
+    Phase leak{0.0, 1e-3, 1e5};
+    EXPECT_TRUE(std::isinf(timeToEnergy(0.01, 0.02, leak)));
+    double t = timeToEnergy(0.01, 0.005, leak);
+    ASSERT_TRUE(std::isfinite(t));
+    EXPECT_NEAR(advanceEnergy(0.01, leak, t), 0.005, 1e-15);
+}
+
+TEST(Solver, TargetWithinToleranceOfStartIsImmediate)
+{
+    Phase ph{1e-3, 1e-3, 1e5};
+    EXPECT_DOUBLE_EQ(timeToEnergy(1.0, 1.0 + 1e-13, ph), 0.0);
+    EXPECT_DOUBLE_EQ(timeToEnergy(1.0, 1.0 - 1e-13, ph), 0.0);
+    EXPECT_DOUBLE_EQ(timeToEnergy(0.0, 0.0, ph), 0.0);
+}
+
 TEST(Solver, MonotoneInTime)
 {
     Phase ph{1e-3, 1e-3, 1e5};
