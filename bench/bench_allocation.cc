@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "apps/boards.hh"
+#include "apps/experiment.hh"
 #include "bench_util.hh"
 #include "core/allocate.hh"
 #include "dev/mcu.hh"
@@ -102,12 +103,32 @@ main()
     power::PowerSystem::Spec spec;
     auto catalog = power::parts::all();
 
+    // Allocation + simulation verification per app are independent
+    // jobs; fan them out on the shared sweep pool and print from the
+    // ordered results (byte-identical at any CAPY_JOBS).
+    struct Outcome
+    {
+        AllocationPlan plan;
+        bool verified = false;
+    };
+    const auto app_cases = appCatalog();
+    auto outcomes = apps::sweepPool().mapItems(
+        app_cases, [&spec, &catalog](const AppModes &am) {
+            Outcome out;
+            out.plan =
+                allocateBanks(am.modes, spec, catalog, am.harvest);
+            out.verified = out.plan.feasible &&
+                           verifyAllocation(out.plan, am.modes, spec,
+                                            am.harvest);
+            return out;
+        });
+
     bool all_verified = true;
-    for (const auto &am : appCatalog()) {
+    for (std::size_t ai = 0; ai < app_cases.size(); ++ai) {
+        const AppModes &am = app_cases[ai];
+        const auto &plan = outcomes[ai].plan;
         std::printf("%s (harvest %.2f mW):\n", am.app,
                     am.harvest * 1e3);
-        auto plan =
-            allocateBanks(am.modes, spec, catalog, am.harvest);
         if (!plan.feasible) {
             std::printf("  INFEASIBLE\n");
             all_verified = false;
@@ -129,7 +150,7 @@ main()
                       am.modes[i].reactive ? "yes" : "no"});
         }
         t.print();
-        bool ok = verifyAllocation(plan, am.modes, spec, am.harvest);
+        bool ok = outcomes[ai].verified;
         std::printf("  total volume: %.0f mm^3 (hand-provisioned "
                     "§6.1: %.0f mm^3); switch area: %.0f mm^2; "
                     "verified by simulation: %s\n\n",

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "apps/capysat.hh"
+#include "apps/experiment.hh"
 #include "bench_util.hh"
 #include "env/light.hh"
 #include "sim/logging.hh"
@@ -27,7 +28,14 @@ main()
 
     env::OrbitLight orbit;
     const double orbits = 3.0;
-    CapySatResult r = runCapySat(orbits, 99);
+    // The mission simulation goes through the shared sweep pool like
+    // every other bench, so extending this case study to a seed or
+    // mission-length sweep parallelizes for free.
+    CapySatResult r = sweepPool()
+                          .map(1, [orbits](std::size_t) {
+                              return runCapySat(orbits, 99);
+                          })
+                          .front();
 
     std::printf("orbit: %.1f min period, %.1f min eclipse; mission: "
                 "%.0f orbits\n\n",

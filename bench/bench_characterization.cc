@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "apps/experiment.hh"
 #include "bench_util.hh"
 #include "core/threshold_alt.hh"
 #include "power/bankswitch.hh"
@@ -38,16 +39,26 @@ main()
     area.print();
 
     // --- Latch retention. ---
-    power::BankSwitch latch(sw);
-    double analytic = latch.retentionTime();
-    // Simulate: command closed, then decay unpowered until reversion.
-    power::BankSwitch sim_sw(sw);
-    sim_sw.command(true, 0.0, true);
-    double t = 0.0;
-    while (sim_sw.closed() && t < 1000.0) {
-        t += 0.25;
-        sim_sw.update(t, false);
-    }
+    // The analytic figure and the simulated unpowered decay are
+    // independent, so the pair sweeps through the shared batch pool
+    // (rows are assembled from index-ordered results, byte-identical
+    // at any CAPY_JOBS).
+    auto retention = apps::sweepPool().map(2, [&sw](std::size_t i) {
+        if (i == 0)
+            return power::BankSwitch(sw).retentionTime();
+        // Simulate: command closed, then decay unpowered until
+        // reversion.
+        power::BankSwitch sim_sw(sw);
+        sim_sw.command(true, 0.0, true);
+        double decayed = 0.0;
+        while (sim_sw.closed() && decayed < 1000.0) {
+            decayed += 0.25;
+            sim_sw.update(decayed, false);
+        }
+        return decayed;
+    });
+    double analytic = retention[0];
+    double t = retention[1];
     std::printf("\nlatch: C=%.2g uF, R_leak=%.3g Mohm\n",
                 sw.latchCapacitance * 1e6, sw.latchLeakRes / 1e6);
     std::printf("retention time: analytic %.1f s, simulated %.2f s "

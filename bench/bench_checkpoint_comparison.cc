@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "apps/experiment.hh"
 #include "bench_util.hh"
 #include "dev/device.hh"
 #include "power/parts.hh"
@@ -118,10 +119,17 @@ main()
 
     sim::Table t({"bank", "model", "completed", "finish (s)",
                   "checkpoints", "task restarts", "overhead (s)"});
+    // The bank x execution-model grid (3 x {chain, checkpoint}) fans
+    // out as one parallel batch; rows are built from the ordered
+    // results, so the table is byte-identical at any CAPY_JOBS.
+    auto runs = capy::apps::sweepPool().map(6, [&cases](std::size_t i) {
+        const CapacitorSpec &bank = cases[i / 2].bank;
+        return i % 2 == 0 ? runChain(bank) : runCheckpoint(bank);
+    });
     Outcome chain[3], ckpt[3];
     for (int i = 0; i < 3; ++i) {
-        chain[i] = runChain(cases[i].bank);
-        ckpt[i] = runCheckpoint(cases[i].bank);
+        chain[i] = runs[std::size_t(i) * 2];
+        ckpt[i] = runs[std::size_t(i) * 2 + 1];
         t.addRow({cases[i].name, "Chain task",
                   chain[i].completed ? "yes" : "NO",
                   chain[i].completed

@@ -19,6 +19,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -160,37 +161,52 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
-/** Events/sec through schedule+runNext on a warm queue. */
+/** Repetitions per headline measurement: the comparator gates on
+ *  these numbers, so take the best of a few runs to shed scheduler
+ *  noise rather than a single noisy sample. */
+constexpr int kMeasureReps = 3;
+
+/** Events/sec through schedule+runNext on a warm queue (best of
+ *  kMeasureReps). */
 double
 measureEventRate(std::uint64_t &events_out)
 {
-    sim::EventQueue q;
-    std::uint64_t target = 2'000'000;
-    double t = 0.0;
-    auto t0 = std::chrono::steady_clock::now();
-    while (q.executed() < target) {
-        for (int i = 0; i < 64; ++i)
-            q.schedule(t + double(i % 7), [] {});
-        while (!q.empty())
-            q.runNext();
-        t += 10.0;
+    double best = 0.0;
+    for (int rep = 0; rep < kMeasureReps; ++rep) {
+        sim::EventQueue q;
+        std::uint64_t target = 2'000'000;
+        double t = 0.0;
+        auto t0 = std::chrono::steady_clock::now();
+        while (q.executed() < target) {
+            for (int i = 0; i < 64; ++i)
+                q.schedule(t + double(i % 7), [] {});
+            while (!q.empty())
+                q.runNext();
+            t += 10.0;
+        }
+        double dt = secondsSince(t0);
+        events_out = q.executed();
+        best = std::max(best, double(q.executed()) / dt);
     }
-    double dt = secondsSince(t0);
-    events_out = q.executed();
-    return double(q.executed()) / dt;
+    return best;
 }
 
-/** Wall-clock for the reference sweep at a given pool size. */
+/** Wall-clock for the reference sweep at a given pool size (best of
+ *  kMeasureReps). */
 double
 measureSweep(unsigned threads, std::size_t jobs)
 {
     sim::BatchRunner pool(threads);
-    auto t0 = std::chrono::steady_clock::now();
-    auto runs = pool.map(jobs, [](std::size_t i) {
-        return sweepJob(std::uint64_t(i) + 1);
-    });
-    benchmark::DoNotOptimize(runs.back().summary.correct);
-    return secondsSince(t0);
+    double best = 1e300;
+    for (int rep = 0; rep < kMeasureReps; ++rep) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto runs = pool.map(jobs, [](std::size_t i) {
+            return sweepJob(std::uint64_t(i) + 1);
+        });
+        benchmark::DoNotOptimize(runs.back().summary.correct);
+        best = std::min(best, secondsSince(t0));
+    }
+    return best;
 }
 
 void
@@ -220,8 +236,11 @@ writeBaseline()
     std::fprintf(f, "  \"schema\": \"capy-bench-sim-v1\",\n");
     std::fprintf(f, "  \"event_queue\": {\n");
     std::fprintf(f, "    \"events_per_sec\": %.6g,\n", events_per_sec);
-    std::fprintf(f, "    \"events_measured\": %llu\n",
+    std::fprintf(f, "    \"events_measured\": %llu,\n",
                  (unsigned long long)hot_events);
+    std::fprintf(f, "    \"callback_heap_fallbacks\": %llu\n",
+                 (unsigned long long)
+                     sim::EventQueue::callbackHeapFallbacks());
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"sweep\": {\n");
     std::fprintf(f, "    \"workload\": \"TempAlarm CapyP 600s x%zu\",\n",
@@ -253,5 +272,21 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     writeBaseline();
+    // Hot-path contract: nothing the engine benches exercised —
+    // event-queue traffic, callback dispatch, full TempAlarm sweeps —
+    // may overflow Callback's inline buffer. A non-zero count means a
+    // capture grew past kInlineSize and dispatch silently went to the
+    // heap (ROADMAP item); fail loudly instead.
+    std::uint64_t heap_falls = sim::EventQueue::callbackHeapFallbacks();
+    if (heap_falls != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu event callback(s) overflowed the "
+                     "%zu-byte inline buffer and heap-allocated\n",
+                     (unsigned long long)heap_falls,
+                     sim::Callback::kInlineSize);
+        return 1;
+    }
+    std::printf("callback heap fallbacks: 0 (inline buffer holds the "
+                "hot path)\n");
     return 0;
 }

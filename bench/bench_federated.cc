@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "apps/experiment.hh"
 #include "bench_util.hh"
 #include "core/runtime.hh"
 #include "dev/device.hh"
@@ -145,8 +146,14 @@ main()
            "federated (UFoP-style) vs reconfigurable storage");
 
     // --- Part 1: blackout endurance / stranded energy ---
-    BlackoutResult fed = federatedBlackout();
-    BlackoutResult capy = capybaraBlackout();
+    // The two blackout simulations are independent; run them as a
+    // batch on the shared sweep pool (index-ordered results keep the
+    // table byte-identical at any CAPY_JOBS).
+    auto blackouts = capy::apps::sweepPool().map(2, [](std::size_t i) {
+        return i == 0 ? federatedBlackout() : capybaraBlackout();
+    });
+    const BlackoutResult &fed = blackouts[0];
+    const BlackoutResult &capy = blackouts[1];
 
     std::printf("blackout endurance (same total storage, harvester "
                 "dead):\n");

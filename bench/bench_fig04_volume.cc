@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "apps/experiment.hh"
 #include "bench_util.hh"
 #include "dev/device.hh"
 #include "power/parts.hh"
@@ -96,23 +97,36 @@ main()
 
     sim::Table t({"tech", "parts", "volume (mm^3)", "C (mF)",
                   "ESR (ohm)", "atomicity (Mops)", "note"});
+    // The tech x stack-size grid of boot-to-brownout simulations fans
+    // out as one parallel batch; rows are emitted from the ordered
+    // results, so the table is byte-identical at any CAPY_JOBS.
+    const std::vector<int> cer_counts = {1, 2, 4, 8, 16, 32};
+    const std::vector<int> sup_counts = {1, 2, 3, 4, 5};
+    std::vector<power::CapacitorSpec> banks;
+    for (int n : cer_counts)
+        banks.push_back(ceramic.parallel(std::size_t(n)));
+    for (int n : sup_counts)
+        banks.push_back(supercap.parallel(std::size_t(n)));
+    auto points = apps::sweepPool().mapItems(banks, measure);
+
     std::vector<Point> cer, sup;
-    for (int n : {1, 2, 4, 8, 16, 32}) {
-        auto bank = ceramic.parallel(std::size_t(n));
-        Point p = measure(bank);
+    for (std::size_t i = 0; i < cer_counts.size(); ++i) {
+        const Point &p = points[i];
         cer.push_back(p);
-        t.addRow({"ceramic", sim::cell(n), sim::cell(p.volume, 4),
-                  sim::cell(bank.capacitance * 1e3, 3),
-                  sim::cell(bank.esr, 3), sim::cell(p.mops, 4),
+        t.addRow({"ceramic", sim::cell(cer_counts[i]),
+                  sim::cell(p.volume, 4),
+                  sim::cell(banks[i].capacitance * 1e3, 3),
+                  sim::cell(banks[i].esr, 3), sim::cell(p.mops, 4),
                   p.bootable ? "" : "unbootable"});
     }
-    for (int n : {1, 2, 3, 4, 5}) {
-        auto bank = supercap.parallel(std::size_t(n));
-        Point p = measure(bank);
+    for (std::size_t i = 0; i < sup_counts.size(); ++i) {
+        std::size_t k = cer_counts.size() + i;
+        const Point &p = points[k];
         sup.push_back(p);
-        t.addRow({"EDLC", sim::cell(n), sim::cell(p.volume, 4),
-                  sim::cell(bank.capacitance * 1e3, 3),
-                  sim::cell(bank.esr, 3), sim::cell(p.mops, 4),
+        t.addRow({"EDLC", sim::cell(sup_counts[i]),
+                  sim::cell(p.volume, 4),
+                  sim::cell(banks[k].capacitance * 1e3, 3),
+                  sim::cell(banks[k].esr, 3), sim::cell(p.mops, 4),
                   p.bootable ? "" : "unbootable (ESR droop)"});
     }
     t.print();

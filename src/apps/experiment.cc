@@ -8,18 +8,16 @@ namespace capy::apps
 env::EventSchedule
 taSchedule(std::uint64_t seed)
 {
-    sim::Rng rng(seed, 0x7a);
     // Leave the cold-start period event-free, as the rigs do.
-    return env::EventSchedule::poissonCount(rng, kTaEvents, kTaHorizon,
-                                            60.0);
+    return env::EventSchedule::poissonCountSeeded(
+        seed, 0x7a, kTaEvents, kTaHorizon, 60.0);
 }
 
 env::EventSchedule
 grcSchedule(std::uint64_t seed)
 {
-    sim::Rng rng(seed, 0x9c);
-    return env::EventSchedule::poissonCount(rng, kGrcEvents,
-                                            kGrcHorizon, 30.0);
+    return env::EventSchedule::poissonCountSeeded(
+        seed, 0x9c, kGrcEvents, kGrcHorizon, 30.0);
 }
 
 void

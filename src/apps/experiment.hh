@@ -55,10 +55,18 @@ inline constexpr std::size_t kTaEvents = 50;
 inline constexpr double kGrcHorizon = 42.0 * 60.0;
 inline constexpr std::size_t kGrcEvents = 80;
 
-/** The paper's TA event sequence (50 Poisson events / 120 min). */
+/**
+ * The paper's TA event sequence (50 Poisson events / 120 min).
+ *
+ * Pure function of @p seed (a private generator per call), so sweep
+ * jobs draw their own schedule on the worker thread instead of the
+ * caller pre-generating and sharing one — same bytes at any
+ * CAPY_JOBS.
+ */
 env::EventSchedule taSchedule(std::uint64_t seed);
 
-/** The paper's GRC/CSR event sequence (80 Poisson events / 42 min). */
+/** The paper's GRC/CSR event sequence (80 Poisson events / 42 min);
+ *  pure function of @p seed, like taSchedule(). */
 env::EventSchedule grcSchedule(std::uint64_t seed);
 
 /**
@@ -83,7 +91,10 @@ using MetricsJob = std::function<RunMetrics()>;
  * pool (sized by CAPY_JOBS / hardware concurrency) and return the
  * results in submission order, so tables built from them are
  * byte-identical at any thread count. Jobs must be independent: each
- * builds its own Simulator/Device/Kernel stack internally.
+ * builds its own Simulator/Device/Kernel stack internally, and
+ * schedule generation belongs inside the job (seeded, e.g.
+ * taSchedule()/poissonCountSeeded()) so it parallelizes with the run
+ * instead of serializing on the caller thread.
  */
 std::vector<RunMetrics> runMetricsBatch(
     const std::vector<MetricsJob> &jobs);

@@ -45,6 +45,25 @@ EventSchedule::poissonCount(sim::Rng &rng, std::size_t count,
     return EventSchedule(std::move(times));
 }
 
+EventSchedule
+EventSchedule::poissonSeeded(std::uint64_t seed, std::uint64_t stream,
+                             double mean_interval, double horizon,
+                             double start_after)
+{
+    sim::Rng rng(seed, stream);
+    return poisson(rng, mean_interval, horizon, start_after);
+}
+
+EventSchedule
+EventSchedule::poissonCountSeeded(std::uint64_t seed,
+                                  std::uint64_t stream,
+                                  std::size_t count, double horizon,
+                                  double start_after)
+{
+    sim::Rng rng(seed, stream);
+    return poissonCount(rng, count, horizon, start_after);
+}
+
 const EnvEvent &
 EventSchedule::at(std::size_t i) const
 {

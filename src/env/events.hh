@@ -49,6 +49,25 @@ class EventSchedule
                                       double horizon,
                                       double start_after = 0.0);
 
+    /**
+     * poisson() with a private generator constructed from
+     * (seed, stream). Lets each parallel sweep job draw its own
+     * schedule worker-side — identical to pre-generating on the
+     * caller thread with sim::Rng(seed, stream), at any CAPY_JOBS.
+     */
+    static EventSchedule poissonSeeded(std::uint64_t seed,
+                                       std::uint64_t stream,
+                                       double mean_interval,
+                                       double horizon,
+                                       double start_after = 0.0);
+
+    /** poissonCount() with a private (seed, stream) generator. */
+    static EventSchedule poissonCountSeeded(std::uint64_t seed,
+                                            std::uint64_t stream,
+                                            std::size_t count,
+                                            double horizon,
+                                            double start_after = 0.0);
+
     const std::vector<EnvEvent> &events() const { return list; }
     std::size_t size() const { return list.size(); }
     bool empty() const { return list.empty(); }

@@ -12,7 +12,9 @@
 #ifndef CAPY_SIM_CALLBACK_HH
 #define CAPY_SIM_CALLBACK_HH
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -47,6 +49,11 @@ class Callback
             ::new (static_cast<void *>(buf)) Fn(std::forward<F>(f));
             ops = &inlineOps<Fn>;
         } else {
+            // The hot path is supposed to never take this branch;
+            // the counter makes a silent capture-size regression
+            // observable (EventQueue::callbackHeapFallbacks()).
+            heapFallbackCounter().fetch_add(
+                1, std::memory_order_relaxed);
             ::new (static_cast<void *>(buf))
                 Fn *(new Fn(std::forward<F>(f)));
             ops = &heapOps<Fn>;
@@ -86,7 +93,25 @@ class Callback
                std::is_nothrow_move_constructible_v<Fn>;
     }
 
+    /**
+     * Process-wide count of Callbacks that overflowed the inline
+     * buffer and heap-allocated. The simulator hot path is sized so
+     * this stays 0; benches assert on it.
+     */
+    static std::uint64_t
+    heapFallbacks() noexcept
+    {
+        return heapFallbackCounter().load(std::memory_order_relaxed);
+    }
+
   private:
+    static std::atomic<std::uint64_t> &
+    heapFallbackCounter() noexcept
+    {
+        static std::atomic<std::uint64_t> count{0};
+        return count;
+    }
+
     struct Ops
     {
         void (*invoke)(void *);

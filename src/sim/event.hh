@@ -81,6 +81,18 @@ class EventQueue
      *  events). */
     std::size_t slotCapacity() const { return slots.size(); }
 
+    /**
+     * Process-wide count of scheduled callbacks whose capture
+     * overflowed Callback's inline buffer and heap-allocated. The
+     * inline size was chosen so device/kernel hot paths never
+     * overflow; hot-path benches assert this stays 0.
+     */
+    static std::uint64_t
+    callbackHeapFallbacks()
+    {
+        return Callback::heapFallbacks();
+    }
+
   private:
     struct Record
     {

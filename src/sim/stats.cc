@@ -59,7 +59,18 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void
 Histogram::add(double x)
 {
-    samples.push_back(x);
+    ++totalAdds;
+    if (cap == 0 || samples.size() < cap) {
+        samples.push_back(x);
+        touchSamples();
+    } else {
+        // Algorithm R: keep the new sample with probability cap/n.
+        std::uint64_t j = nextRand() % totalAdds;
+        if (j < cap) {
+            samples[std::size_t(j)] = x;
+            touchSamples();
+        }
+    }
     if (x < lower) {
         ++below;
     } else if (x >= upper) {
@@ -70,6 +81,37 @@ Histogram::add(double x)
             idx = counts.size() - 1;
         ++counts[idx];
     }
+}
+
+std::uint64_t
+Histogram::nextRand()
+{
+    // xorshift64*: plenty for reservoir index draws, no <random> cost.
+    rngState ^= rngState >> 12;
+    rngState ^= rngState << 25;
+    rngState ^= rngState >> 27;
+    return rngState * 0x2545f4914f6cdd1dULL;
+}
+
+void
+Histogram::capSamples(std::size_t new_cap)
+{
+    capy_assert(new_cap >= 1, "sample cap must be >= 1");
+    cap = new_cap;
+    if (samples.size() <= cap)
+        return;
+    // Called after overflowing the bound: replay the retained set as
+    // a stream through a fresh reservoir so the survivors are still a
+    // uniform draw.
+    std::vector<double> kept(samples.begin(),
+                             samples.begin() + std::ptrdiff_t(cap));
+    for (std::size_t i = cap; i < samples.size(); ++i) {
+        std::uint64_t j = nextRand() % (i + 1);
+        if (j < cap)
+            kept[std::size_t(j)] = samples[i];
+    }
+    samples = std::move(kept);
+    touchSamples();
 }
 
 double
@@ -91,8 +133,12 @@ Histogram::quantile(double q) const
 {
     capy_assert(q >= 0.0 && q <= 1.0, "quantile %g out of [0,1]", q);
     capy_assert(!samples.empty(), "quantile of empty histogram");
-    std::vector<double> sorted = samples;
-    std::sort(sorted.begin(), sorted.end());
+    if (sortedDirty) {
+        sortedCache = samples;
+        std::sort(sortedCache.begin(), sortedCache.end());
+        sortedDirty = false;
+    }
+    const std::vector<double> &sorted = sortedCache;
     double pos = q * double(sorted.size() - 1);
     auto i = static_cast<std::size_t>(pos);
     double frac = pos - double(i);

@@ -34,6 +34,46 @@ TEST(EventSchedule, PoissonCountExact)
     EXPECT_GT(s.at(0).time, 0.0);
 }
 
+TEST(EventSchedule, SeededFactoriesMatchExplicitRng)
+{
+    // Worker-side generation contract: a (seed, stream) factory call
+    // reproduces exactly what a caller-thread Rng would have drawn.
+    sim::Rng rng(42, 7);
+    EventSchedule a =
+        EventSchedule::poissonCount(rng, 50, 7200.0, 60.0);
+    EventSchedule b =
+        EventSchedule::poissonCountSeeded(42, 7, 50, 7200.0, 60.0);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.at(i).time, b.at(i).time);
+
+    sim::Rng rng2(9, 1);
+    EventSchedule c = EventSchedule::poisson(rng2, 30.0, 600.0);
+    EventSchedule d =
+        EventSchedule::poissonSeeded(9, 1, 30.0, 600.0);
+    ASSERT_EQ(c.size(), d.size());
+    for (std::size_t i = 0; i < c.size(); ++i)
+        EXPECT_DOUBLE_EQ(c.at(i).time, d.at(i).time);
+}
+
+TEST(EventSchedule, SeededFactoriesArePureFunctionsOfSeed)
+{
+    EventSchedule a =
+        EventSchedule::poissonCountSeeded(1, 2, 20, 600.0);
+    EventSchedule b =
+        EventSchedule::poissonCountSeeded(1, 2, 20, 600.0);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.at(i).time, b.at(i).time);
+
+    EventSchedule other =
+        EventSchedule::poissonCountSeeded(3, 2, 20, 600.0);
+    bool differs = false;
+    for (std::size_t i = 0; i < other.size(); ++i)
+        differs |= other.at(i).time != a.at(i).time;
+    EXPECT_TRUE(differs);
+}
+
 TEST(EventSchedule, EventCoveringWindows)
 {
     EventSchedule s({10.0, 20.0});

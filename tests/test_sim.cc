@@ -253,6 +253,32 @@ TEST(Callback, InlineAndHeapCallablesBothInvoke)
     EXPECT_EQ(x, 4);
 }
 
+TEST(Callback, HeapFallbackIsCounted)
+{
+    // The debug counter (exposed through EventQueue stats) must tick
+    // only on the heap path; delta-based so test order is irrelevant.
+    std::uint64_t before = EventQueue::callbackHeapFallbacks();
+    int x = 0;
+    Callback small([&x] { ++x; });
+    small();
+    EXPECT_EQ(EventQueue::callbackHeapFallbacks(), before);
+
+    struct Big
+    {
+        double pad[16];
+    } big{};
+    big.pad[0] = 1.0;
+    Callback large([&x, big] { x += int(big.pad[0]); });
+    large();
+    EXPECT_EQ(EventQueue::callbackHeapFallbacks(), before + 1);
+
+    // Moving an already-constructed heap callback is a relocation,
+    // not a new fallback.
+    Callback moved = std::move(large);
+    moved();
+    EXPECT_EQ(EventQueue::callbackHeapFallbacks(), before + 1);
+}
+
 TEST(Callback, TypicalEventCapturesFitInline)
 {
     // The captures the simulator schedules on the hot path (a `this`
@@ -505,6 +531,66 @@ TEST(Histogram, QuantilesExact)
     EXPECT_NEAR(h.quantile(0.0), 1.0, 1e-9);
     EXPECT_NEAR(h.quantile(1.0), 99.0, 1e-9);
     EXPECT_NEAR(h.mean(), 50.0, 1e-9);
+}
+
+TEST(Histogram, QuantileCacheInvalidatedByAdds)
+{
+    // quantile() sorts once and caches; an interleaved add() must
+    // invalidate the cached view, not serve stale percentiles.
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 1; i <= 9; ++i)
+        h.add(double(i));
+    EXPECT_NEAR(h.quantile(0.5), 5.0, 1e-9);
+    EXPECT_NEAR(h.quantile(1.0), 9.0, 1e-9);
+    h.add(50.0);
+    EXPECT_NEAR(h.quantile(1.0), 50.0, 1e-9);
+    EXPECT_NEAR(h.quantile(0.0), 1.0, 1e-9);
+}
+
+TEST(Histogram, SampleCapBoundsRetentionNotBinning)
+{
+    Histogram h(0.0, 1000.0, 10);
+    h.capSamples(100);
+    for (int i = 0; i < 1000; ++i)
+        h.add(double(i));
+    // Counters see every sample; only retention is bounded.
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_EQ(h.data().size(), 100u);
+    EXPECT_EQ(h.sampleCap(), 100u);
+    for (std::size_t b = 0; b < h.numBins(); ++b)
+        EXPECT_EQ(h.binCount(b), 100u);
+    // The reservoir is a uniform draw, so order statistics stay
+    // near the true values.
+    EXPECT_NEAR(h.quantile(0.5), 500.0, 150.0);
+    EXPECT_NEAR(h.mean(), 500.0, 120.0);
+}
+
+TEST(Histogram, SampleCapIsDeterministic)
+{
+    // The reservoir uses a private fixed-seed generator: identical
+    // add streams retain identical samples on every run/thread.
+    auto run = [] {
+        Histogram h(0.0, 1.0, 4);
+        h.capSamples(32);
+        for (int i = 0; i < 500; ++i)
+            h.add(double(i) * 1e-3);
+        return h.data();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Histogram, LateCapShrinksRetainedSet)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 200; ++i)
+        h.add(double(i % 10));
+    EXPECT_EQ(h.data().size(), 200u);
+    h.capSamples(50);
+    EXPECT_EQ(h.data().size(), 50u);
+    EXPECT_EQ(h.count(), 200u);
+    h.add(3.0);
+    EXPECT_EQ(h.data().size(), 50u);
+    EXPECT_EQ(h.count(), 201u);
 }
 
 TEST(Table, AlignedOutputContainsCells)

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * BENCH_SIM.json comparator: gates the repo's performance trajectory.
+ *
+ * Reads two `capy-bench-sim-v1` baselines (written by bench_engine)
+ * and exits non-zero when the candidate regresses the baseline by
+ * more than the threshold (default 10%) on either headline metric:
+ *
+ *  - event_queue.events_per_sec   (lower is a regression), or
+ *  - sweep.parallel_wall_s        (higher is a regression).
+ *
+ * Usage:
+ *   bench_compare [--threshold FRACTION] BASELINE.json CANDIDATE.json
+ *   bench_compare --self-test
+ *
+ * The parser is deliberately minimal: it scans for the `"key": value`
+ * pairs the fixed schema emits, so the tool has no dependencies and
+ * builds everywhere. Exit codes: 0 = within threshold, 1 = regression
+ * (or self-test failure), 2 = usage/parse error.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace
+{
+
+/** Find `"key"` and parse the number after the following colon.
+ *  @retval NAN when the key is absent or malformed. */
+double
+findNumber(const std::string &text, const std::string &key)
+{
+    std::string needle = "\"" + key + "\"";
+    std::size_t at = text.find(needle);
+    if (at == std::string::npos)
+        return NAN;
+    at = text.find(':', at + needle.size());
+    if (at == std::string::npos)
+        return NAN;
+    const char *start = text.c_str() + at + 1;
+    char *end = nullptr;
+    double v = std::strtod(start, &end);
+    return end == start ? NAN : v;
+}
+
+struct Baseline
+{
+    double eventsPerSec = NAN;
+    double sweepWall = NAN;
+};
+
+bool
+loadBaseline(const char *path, Baseline &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_compare: cannot read %s\n", path);
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    if (text.find("\"capy-bench-sim-v1\"") == std::string::npos) {
+        std::fprintf(stderr,
+                     "bench_compare: %s is not a capy-bench-sim-v1 "
+                     "baseline\n",
+                     path);
+        return false;
+    }
+    out.eventsPerSec = findNumber(text, "events_per_sec");
+    out.sweepWall = findNumber(text, "parallel_wall_s");
+    if (std::isnan(out.eventsPerSec) || std::isnan(out.sweepWall) ||
+        out.eventsPerSec <= 0.0 || out.sweepWall <= 0.0) {
+        std::fprintf(stderr,
+                     "bench_compare: %s is missing events_per_sec / "
+                     "parallel_wall_s\n",
+                     path);
+        return false;
+    }
+    return true;
+}
+
+/** One metric line; @p higher_is_better flips the regression sense.
+ *  @retval true when the candidate is within the threshold. */
+bool
+judge(const char *metric, double base, double cand, double threshold,
+      bool higher_is_better)
+{
+    double change = cand / base - 1.0;  // signed, relative to base
+    double regression = higher_is_better ? -change : change;
+    bool ok = regression <= threshold;
+    std::printf("bench_compare: %-28s base %-12.6g cand %-12.6g "
+                "%+6.1f%%  %s\n",
+                metric, base, cand, change * 100.0,
+                ok ? "OK" : "REGRESSION");
+    return ok;
+}
+
+/** @return the process exit code for comparing @p base vs @p cand. */
+int
+compareBaselines(const Baseline &base, const Baseline &cand,
+                 double threshold)
+{
+    bool ok = true;
+    ok &= judge("event_queue.events_per_sec", base.eventsPerSec,
+                cand.eventsPerSec, threshold, true);
+    ok &= judge("sweep.parallel_wall_s", base.sweepWall,
+                cand.sweepWall, threshold, false);
+    if (!ok) {
+        std::printf("bench_compare: FAIL (threshold %.0f%%)\n",
+                    threshold * 100.0);
+        return 1;
+    }
+    std::printf("bench_compare: PASS (threshold %.0f%%)\n",
+                threshold * 100.0);
+    return 0;
+}
+
+int
+compareFiles(const char *base_path, const char *cand_path,
+             double threshold)
+{
+    Baseline base, cand;
+    if (!loadBaseline(base_path, base) ||
+        !loadBaseline(cand_path, cand))
+        return 2;
+    return compareBaselines(base, cand, threshold);
+}
+
+/** Render a minimal but schema-valid baseline for the self-test. */
+std::string
+syntheticJson(double events_per_sec, double parallel_wall_s)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\n  \"schema\": \"capy-bench-sim-v1\",\n"
+                  "  \"event_queue\": { \"events_per_sec\": %.6g },\n"
+                  "  \"sweep\": { \"parallel_wall_s\": %.6g }\n}\n",
+                  events_per_sec, parallel_wall_s);
+    return buf;
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    out << text;
+    return bool(out);
+}
+
+/**
+ * End-to-end self-check through the same file + compare code path
+ * main() uses: identical baselines pass, >10% synthetic regressions
+ * on either axis fail, sub-threshold drift passes, and improvements
+ * never trip the gate.
+ */
+int
+selfTest()
+{
+    struct Case
+    {
+        const char *name;
+        double events, wall;  ///< candidate, vs base 1e7 / 0.1 s
+        int expected;
+    };
+    const Case cases[] = {
+        {"identical", 1e7, 0.1, 0},
+        {"events 20% slower", 0.8e7, 0.1, 1},
+        {"sweep 20% slower", 1e7, 0.12, 1},
+        {"events 5% slower (within 10%)", 0.95e7, 0.1, 0},
+        {"both 30% faster", 1.3e7, 0.07, 0},
+    };
+    const std::string base_path = "bench_compare_selftest_base.json";
+    const std::string cand_path = "bench_compare_selftest_cand.json";
+    if (!writeFile(base_path, syntheticJson(1e7, 0.1))) {
+        std::fprintf(stderr, "self-test: cannot write %s\n",
+                     base_path.c_str());
+        return 2;
+    }
+    int failures = 0;
+    for (const Case &c : cases) {
+        std::printf("self-test case: %s\n", c.name);
+        if (!writeFile(cand_path, syntheticJson(c.events, c.wall)))
+            return 2;
+        int rc = compareFiles(base_path.c_str(), cand_path.c_str(),
+                              0.10);
+        if (rc != c.expected) {
+            std::printf("self-test FAIL: %s: exit %d, expected %d\n",
+                        c.name, rc, c.expected);
+            ++failures;
+        }
+    }
+    // Unreadable / non-schema input must be a hard error, not a pass.
+    if (compareFiles("bench_compare_selftest_missing.json",
+                     cand_path.c_str(), 0.10) != 2) {
+        std::printf("self-test FAIL: missing file not rejected\n");
+        ++failures;
+    }
+    std::remove(base_path.c_str());
+    std::remove(cand_path.c_str());
+    std::printf("self-test: %s\n", failures ? "FAIL" : "PASS");
+    return failures ? 1 : 0;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: bench_compare [--threshold FRACTION] "
+                 "BASELINE.json CANDIDATE.json\n"
+                 "       bench_compare --self-test\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double threshold = 0.10;
+    int arg = 1;
+    if (arg < argc && std::strcmp(argv[arg], "--self-test") == 0)
+        return selfTest();
+    if (arg < argc && std::strcmp(argv[arg], "--threshold") == 0) {
+        if (arg + 1 >= argc) {
+            usage();
+            return 2;
+        }
+        char *end = nullptr;
+        threshold = std::strtod(argv[arg + 1], &end);
+        if (end == argv[arg + 1] || threshold < 0.0) {
+            std::fprintf(stderr,
+                         "bench_compare: bad threshold '%s'\n",
+                         argv[arg + 1]);
+            return 2;
+        }
+        arg += 2;
+    }
+    if (argc - arg != 2) {
+        usage();
+        return 2;
+    }
+    return compareFiles(argv[arg], argv[arg + 1], threshold);
+}
