@@ -233,7 +233,7 @@ writeBaseline()
         return;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"capy-bench-sim-v1\",\n");
+    std::fprintf(f, "  \"schema\": \"capy-bench-sim-v2\",\n");
     std::fprintf(f, "  \"event_queue\": {\n");
     std::fprintf(f, "    \"events_per_sec\": %.6g,\n", events_per_sec);
     std::fprintf(f, "    \"events_measured\": %llu,\n",

@@ -56,6 +56,9 @@ run(const power::CapacitorSpec &bank, double horizon)
         spec, std::make_unique<power::RegulatedSupply>(
                   apps::grcHarvestPower(), 3.3));
     ps->addBank("fixed", bank);
+    // The strip chart reads 60 coarse columns; no need to retain
+    // every internal step of the voltage trajectory.
+    out.volts.capPoints(65536);
     ps->attachVoltageTrace(&out.volts);
     dev::Device device(simulator, std::move(ps), dev::msp430fr5969(),
                        dev::Device::PowerMode::Intermittent);

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Power-layer hot-path benchmark: every simulated second of a device
+ * run funnels through PowerSystem::advanceTo, the closed-form solver,
+ * and Harvester queries, and the runtime leans on the predictive
+ * queries (timeToFull / timeToBrownout) to jump the clock. This
+ * harness measures that single-thread hot path directly under two
+ * workloads:
+ *
+ *  - advance-heavy: many small advanceTo() steps against a looping
+ *    288-sample harvest trace with periodic load changes (the
+ *    trace-replay pattern of a deployed device), and
+ *  - query-heavy: repeated predictive-query bundles (storageVoltage,
+ *    isFull, timeToFull, timeToBrownout) between small advances (the
+ *    charge-wake scheduling pattern in dev::Device).
+ *
+ * After the registered google-benchmark cases run, the binary takes
+ * best-of-3 headline measurements and merges a "power" section into
+ * BENCH_SIM.json (schema capy-bench-sim-v2; path override via
+ * CAPY_BENCH_JSON), alongside the cache hit/miss counters of the
+ * harvester query cursor, the PowerSystem node-snapshot cache, and
+ * the solver exp memo, so fast-path regressions are observable in the
+ * perf gate rather than just slow.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "power/harvester.hh"
+#include "power/parts.hh"
+#include "power/power_system.hh"
+#include "power/solver.hh"
+#include "sim/logging.hh"
+
+using namespace capy;
+
+namespace
+{
+
+/** Synthetic solar day: 288 five-minute samples, half-sine envelope
+ *  (night = 0), looping. Step count is what drives harvester query
+ *  cost, matching a measured deployment trace. */
+std::vector<power::TraceHarvester::Sample>
+solarDayTrace()
+{
+    std::vector<power::TraceHarvester::Sample> samples;
+    samples.reserve(288);
+    for (int i = 0; i < 288; ++i) {
+        double t = double(i) * 300.0;
+        double phase = double(i) / 288.0;  // 0..1 over the day
+        double sun = std::sin((phase - 0.25) * 2.0 * M_PI);
+        double p = sun > 0.0 ? 8e-3 * sun : 0.0;
+        samples.push_back({t, p});
+    }
+    return samples;
+}
+
+std::unique_ptr<power::PowerSystem>
+makeBenchSystem()
+{
+    power::PowerSystem::Spec spec;
+    auto ps = std::make_unique<power::PowerSystem>(
+        spec,
+        std::make_unique<power::TraceHarvester>(solarDayTrace(), 3.3));
+    ps->addBank("small", power::parts::x5r100uF().parallel(4));
+    ps->addBank("big", power::parts::edlc7_5mF());
+    ps->bankForTest(0).setVoltage(1.5);
+    ps->bankForTest(1).setVoltage(1.5);
+    return ps;
+}
+
+/** One advance-heavy pass: @p steps 1-second advances with a load
+ *  change every 50 steps. Returns a value sink. */
+double
+advanceHeavy(power::PowerSystem &ps, int steps)
+{
+    double sink = 0.0;
+    sim::Time t = ps.time();
+    ps.setRailEnabled(true);
+    for (int i = 0; i < steps; ++i) {
+        if (i % 50 == 0)
+            ps.setRailLoad(i % 100 == 0 ? 2e-3 : 0.2e-3);
+        t += 1.0;
+        ps.advanceTo(t);
+        sink += ps.storageVoltage();
+    }
+    return sink;
+}
+
+/** One query-heavy pass: @p bundles predictive-query bundles with a
+ *  0.5 s advance every 8 bundles (the device re-queries far more
+ *  often than conditions change). Returns a value sink. */
+double
+queryHeavy(power::PowerSystem &ps, int bundles)
+{
+    double sink = 0.0;
+    sim::Time t = ps.time();
+    ps.setRailEnabled(true);
+    ps.setRailLoad(1e-3);
+    for (int i = 0; i < bundles; ++i) {
+        sink += ps.storageVoltage();
+        sink += ps.isFull() ? 1.0 : 0.0;
+        sim::Time tf = ps.timeToFull();
+        sim::Time tb = ps.timeToBrownout();
+        sink += std::isfinite(tf) ? tf : 0.0;
+        sink += std::isfinite(tb) ? tb : 0.0;
+        if (i % 8 == 7) {
+            t += 0.5;
+            ps.advanceTo(t);
+        }
+    }
+    return sink;
+}
+
+// --- Registered microbenchmarks -------------------------------------
+
+void
+BM_PowerAdvanceTrace(benchmark::State &state)
+{
+    auto ps = makeBenchSystem();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(advanceHeavy(*ps, 256));
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PowerAdvanceTrace);
+
+void
+BM_PowerQueryBundle(benchmark::State &state)
+{
+    auto ps = makeBenchSystem();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(queryHeavy(*ps, 64));
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PowerQueryBundle);
+
+// --- Headline measurement + BENCH_SIM.json merge --------------------
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Repetitions per headline measurement (same policy as
+ *  bench_engine: best-of to shed scheduler noise). */
+constexpr int kMeasureReps = 3;
+
+double
+measureAdvanceRate()
+{
+    const int steps = 20000;
+    double best = 0.0;
+    for (int rep = 0; rep < kMeasureReps; ++rep) {
+        auto ps = makeBenchSystem();
+        auto t0 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(advanceHeavy(*ps, steps));
+        double dt = secondsSince(t0);
+        best = std::max(best, double(steps) / dt);
+    }
+    return best;
+}
+
+double
+measureQueryRate()
+{
+    const int bundles = 4000;
+    double best = 0.0;
+    for (int rep = 0; rep < kMeasureReps; ++rep) {
+        auto ps = makeBenchSystem();
+        auto t0 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(queryHeavy(*ps, bundles));
+        double dt = secondsSince(t0);
+        best = std::max(best, double(bundles) / dt);
+    }
+    return best;
+}
+
+/** Hot-path cache counters from one fixed reference workload. */
+struct CacheCounters
+{
+    power::PowerSystem::CacheStats ps{};
+    std::uint64_t cursorHits = 0;
+    std::uint64_t cursorMisses = 0;
+};
+
+/**
+ * Run the reference workload (untimed) and collect every hot-path
+ * cache counter. The workload is fixed and single-threaded, so the
+ * counters are exact and deterministic — a fast path that silently
+ * stops hitting shows up as a counter regression in BENCH_SIM.json
+ * even when the wall-clock gate is too noisy to catch it.
+ */
+CacheCounters
+collectCounters()
+{
+    auto ps = makeBenchSystem();
+    benchmark::DoNotOptimize(advanceHeavy(*ps, 4000));
+    benchmark::DoNotOptimize(queryHeavy(*ps, 2000));
+    CacheCounters c;
+    c.ps = ps->cacheStats();
+    if (const auto *th = dynamic_cast<const power::TraceHarvester *>(
+            &ps->harvesterRef())) {
+        c.cursorHits = th->cursorHits();
+        c.cursorMisses = th->cursorMisses();
+    }
+    return c;
+}
+
+/** Strip a previously merged "power" section (idempotent re-runs). */
+std::string
+stripPowerSection(std::string text)
+{
+    std::size_t at = text.find("\"power\": {");
+    if (at == std::string::npos)
+        return text;
+    // Back up over indentation to the start of the line.
+    std::size_t start = text.rfind('\n', at);
+    start = start == std::string::npos ? at : start + 1;
+    // Find the matching close brace.
+    std::size_t depth = 0, i = text.find('{', at);
+    for (; i < text.size(); ++i) {
+        if (text[i] == '{')
+            ++depth;
+        else if (text[i] == '}' && --depth == 0)
+            break;
+    }
+    if (i >= text.size())
+        return text;  // malformed; leave as-is
+    std::size_t end = i + 1;
+    if (end < text.size() && text[end] == ',')
+        ++end;
+    if (end < text.size() && text[end] == '\n')
+        ++end;
+    text.erase(start, end - start);
+    return text;
+}
+
+/** The "power" block merged into BENCH_SIM.json. */
+std::string
+powerSection(double advance_per_sec, double query_per_sec,
+             const CacheCounters &c)
+{
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof buf,
+        "  \"power\": {\n"
+        "    \"workload\": \"trace-replay 2-bank system\",\n"
+        "    \"advance_steps_per_sec\": %.6g,\n"
+        "    \"query_bundles_per_sec\": %.6g,\n"
+        "    \"cache\": {\n"
+        "      \"node_hits\": %llu,\n"
+        "      \"node_misses\": %llu,\n"
+        "      \"query_hits\": %llu,\n"
+        "      \"query_misses\": %llu,\n"
+        "      \"exp_hits\": %llu,\n"
+        "      \"exp_misses\": %llu,\n"
+        "      \"cursor_hits\": %llu,\n"
+        "      \"cursor_misses\": %llu\n"
+        "    }\n"
+        "  },\n",
+        advance_per_sec, query_per_sec,
+        (unsigned long long)c.ps.nodeHits,
+        (unsigned long long)c.ps.nodeMisses,
+        (unsigned long long)c.ps.queryHits,
+        (unsigned long long)c.ps.queryMisses,
+        (unsigned long long)c.ps.expHits,
+        (unsigned long long)c.ps.expMisses,
+        (unsigned long long)c.cursorHits,
+        (unsigned long long)c.cursorMisses);
+    return buf;
+}
+
+/**
+ * Merge the power section into the BENCH_SIM.json written by
+ * bench_engine (schema v2), or write a standalone v2 file when none
+ * exists yet.
+ */
+void
+writeMerged(double advance_per_sec, double query_per_sec,
+            const CacheCounters &counters)
+{
+    const char *path = std::getenv("CAPY_BENCH_JSON");
+    if (path == nullptr)
+        path = "BENCH_SIM.json";
+
+    std::string text;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            text = buf.str();
+        }
+    }
+
+    std::string section =
+        powerSection(advance_per_sec, query_per_sec, counters);
+    if (text.find("\"capy-bench-sim-v") != std::string::npos) {
+        // Upgrade v1 snapshots in place; drop any stale power block.
+        std::size_t v1 = text.find("\"capy-bench-sim-v1\"");
+        if (v1 != std::string::npos)
+            text.replace(v1, 19, "\"capy-bench-sim-v2\"");
+        text = stripPowerSection(std::move(text));
+        std::size_t anchor = text.find("  \"hardware_concurrency\"");
+        if (anchor == std::string::npos)
+            anchor = text.rfind('}');
+        if (anchor == std::string::npos) {
+            std::fprintf(stderr, "bench_power: cannot merge into %s\n",
+                         path);
+            return;
+        }
+        text.insert(anchor, section);
+    } else {
+        text = "{\n  \"schema\": \"capy-bench-sim-v2\",\n" + section +
+               "  \"hardware_concurrency\": 1\n}\n";
+    }
+
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench_power: cannot write %s\n", path);
+        return;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("power hot-path metrics merged into %s\n", path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    double advance_per_sec = measureAdvanceRate();
+    double query_per_sec = measureQueryRate();
+    CacheCounters counters = collectCounters();
+    std::printf("power hot path: %.4g advance steps/s, "
+                "%.4g query bundles/s\n",
+                advance_per_sec, query_per_sec);
+    std::printf("caches: node %llu/%llu, query %llu/%llu, "
+                "exp %llu/%llu, cursor %llu/%llu (hits/misses)\n",
+                (unsigned long long)counters.ps.nodeHits,
+                (unsigned long long)counters.ps.nodeMisses,
+                (unsigned long long)counters.ps.queryHits,
+                (unsigned long long)counters.ps.queryMisses,
+                (unsigned long long)counters.ps.expHits,
+                (unsigned long long)counters.ps.expMisses,
+                (unsigned long long)counters.cursorHits,
+                (unsigned long long)counters.cursorMisses);
+    writeMerged(advance_per_sec, query_per_sec, counters);
+    if (counters.ps.nodeHits == 0 || counters.ps.queryHits == 0 ||
+        counters.ps.expHits == 0 || counters.cursorHits == 0) {
+        std::fprintf(stderr, "bench_power: FAIL: a hot-path cache "
+                             "recorded zero hits on the reference "
+                             "workload\n");
+        return 1;
+    }
+    return 0;
+}

@@ -33,6 +33,7 @@ FederatedStorage::addNode(const std::string &name,
                           const CapacitorSpec &cap)
 {
     nodes.push_back(NodeState{CapacitorBank(name, cap), 0.0});
+    peekEnergy.resize(nodes.size());
     return static_cast<int>(nodes.size()) - 1;
 }
 
@@ -203,31 +204,136 @@ sim::Time
 FederatedStorage::timeToNodeFull(int idx) const
 {
     capy_assert(idx >= 0 && idx < numNodes(), "node index %d", idx);
-    // Peek on a scratch copy.
-    FederatedStorage *self = const_cast<FederatedStorage *>(this);
-    std::vector<NodeState> saved = nodes;
-    sim::Time saved_time = lastTime;
+    // Analytic phase-bounded peek over scalar scratch state. The live
+    // nodes are untouched and nothing is allocated per call: the walk
+    // mirrors stepOnce's phase machinery (same boundaries, same
+    // advanceEnergy calls) but jumps straight from boundary to
+    // boundary instead of stepping a fixed dt, and stops at the exact
+    // instant the target node crosses its full threshold.
+    const std::size_t n = nodes.size();
+    const auto target = static_cast<std::size_t>(idx);
+    for (std::size_t i = 0; i < n; ++i)
+        peekEnergy[i] = nodes[i].bank.energy();
 
+    auto vtopOf = [&](std::size_t i) {
+        return std::min(spec.maxStorageVoltage,
+                        nodes[i].bank.spec().ratedVoltage);
+    };
+    auto voltOf = [&](std::size_t i) {
+        double c = nodes[i].bank.capacitance();
+        return c > 0.0 ? std::sqrt(2.0 * peekEnergy[i] / c) : 0.0;
+    };
+    auto fullAt = [&](std::size_t i) {
+        return voltOf(i) >= vtopOf(i) - kVFullTol;
+    };
+
+    sim::Time t = lastTime;
     sim::Time total = 0.0;
-    bool reached = false;
     for (int iter = 0; iter < 100000; ++iter) {
-        if (self->nodeFull(idx)) {
-            reached = true;
-            break;
-        }
-        double dt = 10.0;
-        sim::Time hb = harvester->nextChange(self->lastTime);
-        if (std::isfinite(hb) && hb - self->lastTime < dt)
-            dt = std::max(kTimeTol, hb - self->lastTime);
-        double consumed = self->stepOnce(self->lastTime, dt);
-        self->lastTime += consumed;
-        total += consumed;
+        if (fullAt(target))
+            return total;
         if (total > 1e7)
-            break;
+            return kNever;
+
+        // Cascade assignment for this micro-phase (the target is not
+        // full, so some node always needs charge).
+        int ci = -1;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!fullAt(i)) {
+                ci = static_cast<int>(i);
+                break;
+            }
+        }
+
+        bool harvesting = harvester->power(t) > 0.0;
+        double vh = harvester->voltage(t);
+        sim::Time hb = harvester->nextChange(t);
+        double seg = std::isfinite(hb) ? std::max(kTimeTol, hb - t)
+                                       : kNever;
+
+        // Earliest event: a converter-region or full-threshold
+        // crossing of the charging node, or a non-held full node
+        // dipping below its full threshold (cascade reassignment).
+        // Only upward boundaries bound the charging node, as in
+        // stepOnce. The winning node lands exactly on its boundary.
+        double step = seg;
+        int snap_node = -1;
+        double snap_energy = 0.0;
+        auto consider = [&](std::size_t i, double e_bound,
+                            const Phase &ph) {
+            double tb = timeToEnergy(peekEnergy[i], e_bound, ph);
+            if (std::isfinite(tb) && tb > kTimeTol && tb < step) {
+                step = tb;
+                snap_node = static_cast<int>(i);
+                snap_energy = e_bound;
+            }
+        };
+
+        if (ci >= 0) {
+            const auto c = static_cast<std::size_t>(ci);
+            const CapacitorBank &cb = nodes[c].bank;
+            double v = voltOf(c);
+            double vtop = vtopOf(c);
+            Phase ph{nodePower(c, v, t, true), cb.capacitance(),
+                     cb.spec().leakageResistance()};
+            double boundaries[3] = {vtop - kVFullTol,
+                                    spec.input.coldStartVoltage,
+                                    vh - spec.input.bypassDiodeDrop};
+            for (double b : boundaries) {
+                if (b <= v + kVTol || b > vtop)
+                    continue;
+                consider(c, cb.energyAtVoltage(b), ph);
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (static_cast<int>(i) == ci || !fullAt(i))
+                continue;
+            if (harvesting && nodes[i].load <= 0.0)
+                continue;  // maintenance top-up holds it at the top
+            // A draining full node: its dip below the threshold hands
+            // the cascade back to it. Aim just under the threshold so
+            // the landing is unambiguously non-full.
+            const CapacitorBank &b = nodes[i].bank;
+            double v_dip = vtopOf(i) - kVFullTol - kVTol;
+            if (voltOf(i) <= v_dip + kVTol)
+                continue;
+            Phase ph{nodePower(i, voltOf(i), t, false),
+                     b.capacitance(), b.spec().leakageResistance()};
+            consider(i, b.energyAtVoltage(v_dip), ph);
+        }
+
+        if (!std::isfinite(step)) {
+            // No boundary and no harvester change ahead: every node
+            // just relaxes toward its asymptote, so if the target's
+            // full threshold were reachable the consider() above
+            // would have found a finite crossing.
+            return kNever;
+        }
+
+        // Advance every node through the micro-phase.
+        for (std::size_t i = 0; i < n; ++i) {
+            double vtop = vtopOf(i);
+            double e_full = nodes[i].bank.energyAtVoltage(vtop);
+            if (harvesting && nodes[i].load <= 0.0 &&
+                static_cast<int>(i) != ci && fullAt(i)) {
+                peekEnergy[i] = e_full;  // maintenance top-up
+                continue;
+            }
+            Phase ph{nodePower(i, voltOf(i), t,
+                               static_cast<int>(i) == ci),
+                     nodes[i].bank.capacitance(),
+                     nodes[i].bank.spec().leakageResistance()};
+            double e = advanceEnergy(peekEnergy[i], ph, step);
+            if (static_cast<int>(i) == snap_node)
+                e = snap_energy;  // land exactly on the boundary
+            if (e > e_full)
+                e = e_full;  // keeper diode pins at the top
+            peekEnergy[i] = e;
+        }
+        t += step;
+        total += step;
     }
-    self->nodes = std::move(saved);
-    self->lastTime = saved_time;
-    return reached ? total : kNever;
+    return kNever;
 }
 
 sim::Time

@@ -121,6 +121,13 @@ class FederatedStorage
     std::unique_ptr<Harvester> harvester;
     std::vector<NodeState> nodes;
     sim::Time lastTime = 0.0;
+
+    /**
+     * Scratch energies for timeToNodeFull's analytic peek, sized in
+     * addNode so the const query allocates nothing per call. Pure
+     * scratch: every use overwrites it first.
+     */
+    mutable std::vector<double> peekEnergy;
 };
 
 } // namespace capy::power

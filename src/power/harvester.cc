@@ -39,9 +39,19 @@ SolarArray::SolarArray(unsigned n_series, double panel_peak_power,
 double
 SolarArray::power(sim::Time t) const
 {
-    double scale = illumination ? illumination(t) : 1.0;
-    scale = std::clamp(scale, 0.0, 1.0);
-    return double(nSeries) * peakPower * scale;
+    if (!illumination)
+        return double(nSeries) * peakPower;
+    // Memo keyed on the exact query time: the transient walk asks for
+    // the same instant once per phase iteration, and the answer is a
+    // pure function of t.
+    if (t == cachedTime) {
+        ++cacheHitCount;
+        return double(nSeries) * peakPower * cachedScale;
+    }
+    ++cacheMissCount;
+    cachedScale = std::clamp(illumination(t), 0.0, 1.0);
+    cachedTime = t;
+    return double(nSeries) * peakPower * cachedScale;
 }
 
 double
@@ -98,6 +108,34 @@ TraceHarvester::indexAt(double local) const
     return lo;
 }
 
+std::size_t
+TraceHarvester::seek(double local) const
+{
+    // Queries arrive in (mostly) non-decreasing time order, so the
+    // active sample is the cursor's or a few ahead; scan forward from
+    // the cursor and only fall back to the binary search when the
+    // query jumped backward (loop wrap, predictive-query restart) or
+    // far ahead.
+    constexpr std::size_t kMaxScan = 32;
+    std::size_t i = cursor;
+    if (i < trace.size() && trace[i].time <= local) {
+        std::size_t scanned = 0;
+        while (i + 1 < trace.size() && trace[i + 1].time <= local &&
+               scanned < kMaxScan) {
+            ++i;
+            ++scanned;
+        }
+        if (i + 1 >= trace.size() || trace[i + 1].time > local) {
+            ++cursorHitCount;
+            cursor = i;
+            return i;
+        }
+    }
+    ++cursorMissCount;
+    cursor = indexAt(local);
+    return cursor;
+}
+
 double
 TraceHarvester::power(sim::Time t) const
 {
@@ -108,7 +146,7 @@ TraceHarvester::power(sim::Time t) const
     } else if (t >= span) {
         return 0.0;
     }
-    return trace[indexAt(local)].power;
+    return trace[seek(local)].power;
 }
 
 sim::Time
@@ -118,7 +156,7 @@ TraceHarvester::nextChange(sim::Time t) const
         return kNever;
     double cycles = looping ? std::floor(t / span) : 0.0;
     double local = t - cycles * span;
-    std::size_t idx = indexAt(local);
+    std::size_t idx = seek(local);
     double next_local =
         idx + 1 < trace.size() ? trace[idx + 1].time : span;
     double next = cycles * span + next_local;

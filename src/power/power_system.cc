@@ -53,6 +53,7 @@ int
 PowerSystem::addBank(const std::string &name, const CapacitorSpec &cap)
 {
     banks.push_back(BankState{CapacitorBank(name, cap), std::nullopt});
+    invalidateNode();
     return static_cast<int>(banks.size()) - 1;
 }
 
@@ -63,6 +64,7 @@ PowerSystem::addSwitchedBank(const std::string &name,
 {
     banks.push_back(BankState{CapacitorBank(name, cap),
                               BankSwitch(sw, lastTime)});
+    invalidateNode();
     return static_cast<int>(banks.size()) - 1;
 }
 
@@ -77,6 +79,8 @@ CapacitorBank &
 PowerSystem::bankForTest(int idx)
 {
     capy_assert(idx >= 0 && idx < numBanks(), "bank index %d", idx);
+    // The caller may mutate bank energy through this handle.
+    invalidateNode();
     return banks[static_cast<std::size_t>(idx)].bank;
 }
 
@@ -94,6 +98,47 @@ PowerSystem::bankActive(int idx) const
     capy_assert(idx >= 0 && idx < numBanks(), "bank index %d", idx);
     const BankState &bs = banks[static_cast<std::size_t>(idx)];
     return bs.sw ? bs.sw->closed() : true;
+}
+
+const PowerSystem::Node &
+PowerSystem::activeNode() const
+{
+    if (nodeDirty) {
+        ++nodeMissCount;
+        nodeCache = snapshotActive();
+        nodeDirty = false;
+    } else {
+        ++nodeHitCount;
+    }
+    return nodeCache;
+}
+
+void
+PowerSystem::invalidateNode() const
+{
+    nodeDirty = true;
+    topDirty = true;
+    invalidateQueries();
+}
+
+void
+PowerSystem::invalidateQueries() const
+{
+    queryMemoCount = 0;
+    queryMemoNext = 0;
+}
+
+PowerSystem::CacheStats
+PowerSystem::cacheStats() const
+{
+    return {nodeHitCount,  nodeMissCount,  queryHitCount,
+            queryMissCount, expMemo.hits(), expMemo.misses()};
+}
+
+void
+PowerSystem::invalidateCachesForTest() const
+{
+    invalidateNode();
 }
 
 PowerSystem::Node
@@ -141,11 +186,17 @@ PowerSystem::writebackActive(const Node &node)
 double
 PowerSystem::topVoltage() const
 {
+    // Cached: the target changes only on reconfiguration and ceiling
+    // control calls, but phaseAt() asks on every phase iteration.
+    if (!topDirty)
+        return topCache;
     double top = std::min(spec.maxStorageVoltage, chargeCeiling);
     for (int i = 0; i < numBanks(); ++i) {
         if (bankActive(i) && bank(i).spec().ratedVoltage > 0.0)
             top = std::min(top, bank(i).spec().ratedVoltage);
     }
+    topCache = top;
+    topDirty = false;
     return top;
 }
 
@@ -279,7 +330,7 @@ PowerSystem::stepNode(Node &node, sim::Time t0, double dt,
         stalls = 0;
 
         double e0 = node.energy;
-        node.energy = advanceEnergy(e0, phase, step);
+        node.energy = advanceEnergy(e0, phase, step, &expMemo);
         if (step == tb && std::isfinite(tb))
             node.energy = e_bound;  // land exactly on the boundary
 
@@ -327,6 +378,7 @@ PowerSystem::updateLatches(sim::Time t)
 void
 PowerSystem::rebuildAfterReconfig()
 {
+    invalidateNode();
     std::vector<CapacitorBank *> active;
     for (int i = 0; i < numBanks(); ++i) {
         if (bankActive(i))
@@ -368,13 +420,20 @@ PowerSystem::advanceTo(sim::Time t)
             dt_max = std::max(0.0, hb - lastTime);
 
         if (dt_max > 0.0) {
-            Node node = snapshotActive();
+            Node node = activeNode();
             if (node.valid) {
                 stepNode(node, lastTime, dt_max, &energyStats);
                 writebackActive(node);
+                // The cache must reflect the bank writeback exactly
+                // (the sum of per-bank energies, not the pre-split
+                // total), so rebuild lazily rather than storing node.
+                nodeDirty = true;
             }
             decayInactive(dt_max);
             lastTime += dt_max;
+            // The clock moved: relative predictive queries are stale
+            // even if no charge moved (harvester conditions changed).
+            invalidateQueries();
         }
 
         if (updateLatches(lastTime))
@@ -413,6 +472,8 @@ void
 PowerSystem::setRailLoad(double watts)
 {
     capy_assert(watts >= 0.0, "negative rail load %g", watts);
+    if (loadPower != watts)
+        invalidateQueries();
     loadPower = watts;
 }
 
@@ -424,8 +485,10 @@ PowerSystem::setRailEnabled(bool on)
     railOn = on;
     if (!on)
         loadPower = 0.0;
-    // Latch replenishment state changed; refresh latches at this time.
+    // Latch replenishment state changed; refresh latches at this time
+    // (a reversion here changes the active set).
     updateLatches(lastTime);
+    invalidateNode();
 }
 
 void
@@ -435,6 +498,8 @@ PowerSystem::setChargeCeiling(double v)
                 "charge ceiling %g V below booster start %g V", v,
                 spec.output.minInputStart);
     chargeCeiling = v;
+    topDirty = true;
+    invalidateQueries();
     wasFull = isFull();
 }
 
@@ -442,31 +507,33 @@ void
 PowerSystem::clearChargeCeiling()
 {
     chargeCeiling = kInf;
+    topDirty = true;
+    invalidateQueries();
     wasFull = isFull();
 }
 
 double
 PowerSystem::storageVoltage() const
 {
-    return snapshotActive().voltage();
+    return activeNode().voltage();
 }
 
 double
 PowerSystem::activeCapacitance() const
 {
-    return snapshotActive().capacitance;
+    return activeNode().capacitance;
 }
 
 double
 PowerSystem::activeEsr() const
 {
-    return snapshotActive().esr;
+    return activeNode().esr;
 }
 
 double
 PowerSystem::activeEnergy() const
 {
-    return snapshotActive().energy;
+    return activeNode().energy;
 }
 
 double
@@ -484,15 +551,40 @@ PowerSystem::startupVoltage(double rail_load) const
 bool
 PowerSystem::isFull() const
 {
-    Node node = snapshotActive();
+    const Node &node = activeNode();
     return node.valid && node.voltage() >= topVoltage() - kVTol;
 }
 
 sim::Time
 PowerSystem::timeToVoltage(double target_v) const
 {
-    capy_assert(target_v >= 0.0, "negative target voltage %g", target_v);
-    Node node = snapshotActive();
+    capy_assert(target_v >= 0.0, "negative target voltage %g",
+                target_v);
+    // The device layer re-queries the same targets (top voltage,
+    // brown-out floor) between control calls far more often than the
+    // underlying state changes; memoize per-target until the clock or
+    // conditions move.
+    for (std::size_t i = 0; i < queryMemoCount; ++i) {
+        if (queryMemo[i].target == target_v) {
+            ++queryHitCount;
+            return queryMemo[i].result;
+        }
+    }
+    ++queryMissCount;
+    sim::Time result = computeTimeToVoltage(target_v);
+    if (queryMemoCount < kQueryMemoSlots) {
+        queryMemo[queryMemoCount++] = {target_v, result};
+    } else {
+        queryMemo[queryMemoNext] = {target_v, result};
+        queryMemoNext = (queryMemoNext + 1) % kQueryMemoSlots;
+    }
+    return result;
+}
+
+sim::Time
+PowerSystem::computeTimeToVoltage(double target_v) const
+{
+    Node node = activeNode();
     if (!node.valid)
         return kNever;
     double v0 = node.voltage();
@@ -567,7 +659,7 @@ PowerSystem::timeToVoltage(double target_v) const
             if (std::isinf(step)) {
                 // No boundary: the phase runs out the segment.
                 node.energy = advanceEnergy(node.energy, phase,
-                                            remaining);
+                                            remaining, &expMemo);
                 if (!segment_has_change)
                     return kNever;  // steady state short of target
                 total += remaining;
@@ -575,7 +667,8 @@ PowerSystem::timeToVoltage(double target_v) const
                 remaining = 0.0;
                 break;
             }
-            node.energy = advanceEnergy(node.energy, phase, step);
+            node.energy =
+                advanceEnergy(node.energy, phase, step, &expMemo);
             if (step == tb && std::isfinite(tb))
                 node.energy = e_bound;
             total += step;

@@ -15,6 +15,8 @@
 #ifndef CAPY_POWER_POWER_SYSTEM_HH
 #define CAPY_POWER_POWER_SYSTEM_HH
 
+#include <array>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -24,6 +26,7 @@
 #include "power/booster.hh"
 #include "power/capacitor.hh"
 #include "power/harvester.hh"
+#include "power/solver.hh"
 #include "sim/trace.hh"
 
 namespace capy::power
@@ -179,6 +182,36 @@ class PowerSystem
 
     const EnergyStats &stats() const { return energyStats; }
 
+    /**
+     * Hot-path cache effectiveness counters. The composed active-node
+     * snapshot, the effective charge target, and predictive-query
+     * results are cached behind dirty flags (invalidated by control
+     * calls and time advancement), and the solver memoizes
+     * exp(-dt/tau); all caches are pure memoization — query results
+     * are bit-identical to a cold rebuild. bench_power exports these
+     * alongside callbackHeapFallbacks so a fast path that silently
+     * stops hitting shows up in BENCH_SIM.json, not just in
+     * wall-clock.
+     */
+    struct CacheStats
+    {
+        std::uint64_t nodeHits = 0;    ///< snapshot served from cache
+        std::uint64_t nodeMisses = 0;  ///< snapshot rebuilt from banks
+        std::uint64_t queryHits = 0;   ///< timeToVoltage memo hits
+        std::uint64_t queryMisses = 0; ///< full predictive-query walks
+        std::uint64_t expHits = 0;     ///< solver exp memo hits
+        std::uint64_t expMisses = 0;
+    };
+
+    CacheStats cacheStats() const;
+
+    /**
+     * Drop all cached state (test hook): the next query recomputes
+     * from the banks. Query results must be unchanged — the property
+     * tests compare cached answers against a post-invalidation oracle.
+     */
+    void invalidateCachesForTest() const;
+
     /** Record storage voltage into @p ts on every internal step. */
     void attachVoltageTrace(sim::TimeSeries *ts) { voltTrace = ts; }
 
@@ -224,6 +257,23 @@ class PowerSystem
     PhaseInfo phaseAt(const Node &node, double v, sim::Time t) const;
 
     /**
+     * Cached snapshotActive(): rebuilt only when a control call or
+     * time advance dirtied the active node since the last query.
+     */
+    const Node &activeNode() const;
+
+    /** Active-node composition changed (reconfig, writeback, test
+     *  mutation): drop the node snapshot and query memo. */
+    void invalidateNode() const;
+
+    /** Conditions changed without moving charge (load, ceiling, rail
+     *  state, clock): predictive-query results are stale. */
+    void invalidateQueries() const;
+
+    /** Uncached timeToVoltage walk (the memo's fill path). */
+    sim::Time computeTimeToVoltage(double target_v) const;
+
+    /**
      * Evolve @p node over [t0, t0+dt] with the harvester held at its
      * t0 conditions (caller bounds dt by harvester changes). Updates
      * @p acc energy accounting when non-null.
@@ -250,6 +300,31 @@ class PowerSystem
     bool wasFull = false;  ///< for charge-completion counting
     EnergyStats energyStats;
     sim::TimeSeries *voltTrace = nullptr;
+
+    // --- Hot-path caches (pure memo state; a PowerSystem is owned by
+    // one simulation, so the mutable members need no locking) ---
+
+    /** One memoized predictive-query result. */
+    struct QueryMemoEntry
+    {
+        double target = 0.0;
+        sim::Time result = 0.0;
+    };
+
+    static constexpr std::size_t kQueryMemoSlots = 4;
+
+    mutable Node nodeCache;
+    mutable bool nodeDirty = true;
+    mutable double topCache = 0.0;
+    mutable bool topDirty = true;
+    mutable std::array<QueryMemoEntry, kQueryMemoSlots> queryMemo{};
+    mutable std::size_t queryMemoCount = 0;
+    mutable std::size_t queryMemoNext = 0;
+    mutable ExpCache expMemo;
+    mutable std::uint64_t nodeHitCount = 0;
+    mutable std::uint64_t nodeMissCount = 0;
+    mutable std::uint64_t queryHitCount = 0;
+    mutable std::uint64_t queryMissCount = 0;
 };
 
 } // namespace capy::power

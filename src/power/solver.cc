@@ -31,7 +31,13 @@ steadyStateEnergy(const Phase &ph)
 }
 
 double
-advanceEnergy(double e0, const Phase &ph, double dt)
+ExpCache::uncachedExp(double dt, double tau)
+{
+    return std::exp(-dt / tau);
+}
+
+double
+advanceEnergy(double e0, const Phase &ph, double dt, ExpCache *memo)
 {
     capy_assert(ph.capacitance > 0.0, "phase capacitance %g <= 0",
                 ph.capacitance);
@@ -47,7 +53,9 @@ advanceEnergy(double e0, const Phase &ph, double dt)
 
     double tau = ph.leakRes * ph.capacitance * 0.5;
     double einf = ph.power * tau;  // may be negative when P < 0
-    double e = einf + (e0 - einf) * std::exp(-dt / tau);
+    double decay = memo ? memo->expNegRatio(dt, tau)
+                        : std::exp(-dt / tau);
+    double e = einf + (e0 - einf) * decay;
     return std::max(0.0, e);
 }
 

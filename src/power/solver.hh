@@ -19,6 +19,9 @@
 #ifndef CAPY_POWER_SOLVER_HH
 #define CAPY_POWER_SOLVER_HH
 
+#include <array>
+#include <bit>
+#include <cstdint>
 #include <limits>
 
 namespace capy::power
@@ -39,11 +42,72 @@ struct Phase
 };
 
 /**
+ * Small direct-mapped memo for exp(-dt / tau).
+ *
+ * The power-system hot path evaluates the same exponential repeatedly
+ * for unchanged (dt, tau) pairs: a predictive query walks the phase
+ * sequence, and the advanceTo() that follows re-walks the identical
+ * segments; back-to-back queries between advances repeat them again.
+ * Entries are keyed on the exact (dt, tau) bit patterns and store the
+ * exp value computed the normal way, so a hit returns bit-identical
+ * results — the memo can change nothing observable.
+ */
+class ExpCache
+{
+  public:
+    /** exp(-dt / tau), memoized on the exact (dt, tau) pair. */
+    double
+    expNegRatio(double dt, double tau)
+    {
+        Entry &e = entries[slotFor(dt, tau)];
+        if (e.dt == dt && e.tau == tau) {
+            ++hitCount;
+            return e.value;
+        }
+        ++missCount;
+        e.dt = dt;
+        e.tau = tau;
+        e.value = uncachedExp(dt, tau);
+        return e.value;
+    }
+
+    std::uint64_t hits() const { return hitCount; }
+    std::uint64_t misses() const { return missCount; }
+
+  private:
+    struct Entry
+    {
+        double dt = -1.0;  ///< never matches: callers pass dt >= 0
+        double tau = -1.0;
+        double value = 0.0;
+    };
+
+    static std::size_t
+    slotFor(double dt, double tau)
+    {
+        std::uint64_t h = std::bit_cast<std::uint64_t>(dt) ^
+                          (std::bit_cast<std::uint64_t>(tau) >> 1);
+        return std::size_t((h ^ (h >> 17)) & (kSlots - 1));
+    }
+
+    static double uncachedExp(double dt, double tau);
+
+    static constexpr std::size_t kSlots = 4;
+    std::array<Entry, kSlots> entries{};
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+};
+
+/**
  * Energy after @p dt seconds starting from @p e0 joules under @p ph.
  * Clamped at zero (a capacitor cannot hold negative energy; once
  * empty, negative net power has nothing left to remove).
+ *
+ * @param memo optional exp memo for hot paths that revisit identical
+ *        (dt, tau) pairs; results are identical with or without it.
  */
-double advanceEnergy(double e0, const Phase &ph, double dt);
+double advanceEnergy(double e0, const Phase &ph, double dt,
+                     ExpCache *memo = nullptr);
 
 /**
  * Time for stored energy to reach @p target joules from @p e0 under

@@ -44,22 +44,44 @@ BatchRunner::~BatchRunner()
         w.join();
 }
 
-void
-BatchRunner::runOne(std::size_t index,
-                    std::unique_lock<std::mutex> &lock)
+std::size_t
+BatchRunner::chunkFor(std::size_t n, unsigned pool)
 {
+    // One lock round-trip per chunk instead of per job. Large sweeps
+    // of tiny jobs (provisioning grids, seed sweeps of sub-ms runs)
+    // otherwise spend comparable time in the mutex as in the jobs.
+    // Claiming contiguous index runs changes only which thread runs a
+    // job, never its index, so results stay byte-stable: placement is
+    // index-ordered and jobs share no state.
+    if (pool <= 1)
+        return n;  // serial: claim the whole batch in one go
+    std::size_t chunk = n / (std::size_t(pool) * 4);
+    return std::clamp<std::size_t>(chunk, 1, 1024);
+}
+
+void
+BatchRunner::runChunk(std::unique_lock<std::mutex> &lock)
+{
+    std::size_t begin = nextIndex;
+    std::size_t end = std::min(begin + chunkSize, batchSize);
+    nextIndex = end;
     const std::function<void(std::size_t)> *fn = body;
     lock.unlock();
-    std::exception_ptr err;
-    try {
-        (*fn)(index);
-    } catch (...) {
-        err = std::current_exception();
+    // Capture every failure in the chunk; lowest index still wins in
+    // forEach's deterministic rethrow.
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errs;
+    for (std::size_t i = begin; i < end; ++i) {
+        try {
+            (*fn)(i);
+        } catch (...) {
+            errs.emplace_back(i, std::current_exception());
+        }
     }
     lock.lock();
-    if (err)
-        errors.emplace_back(index, err);
-    if (--remaining == 0)
+    for (auto &e : errs)
+        errors.push_back(std::move(e));
+    remaining -= end - begin;
+    if (remaining == 0)
         batchDone.notify_all();
 }
 
@@ -74,7 +96,7 @@ BatchRunner::workerLoop()
         if (shuttingDown)
             return;
         while (nextIndex < batchSize)
-            runOne(nextIndex++, lock);
+            runChunk(lock);
     }
 }
 
@@ -91,12 +113,13 @@ BatchRunner::forEach(std::size_t n,
     batchSize = n;
     nextIndex = 0;
     remaining = n;
+    chunkSize = chunkFor(n, threads());
     errors.clear();
     if (!workers.empty())
         wake.notify_all();
     // The submitting thread is a full pool member.
     while (nextIndex < batchSize)
-        runOne(nextIndex++, lock);
+        runChunk(lock);
     batchDone.wait(lock, [this] { return remaining == 0; });
     batchSize = 0;
     body = nullptr;

@@ -98,7 +98,16 @@ class BatchRunner
 
   private:
     void workerLoop();
-    void runOne(std::size_t index, std::unique_lock<std::mutex> &lock);
+
+    /** Claim and run the next contiguous chunk of job indices. */
+    void runChunk(std::unique_lock<std::mutex> &lock);
+
+    /**
+     * Per-batch claim granularity: enough chunks for load balance
+     * (~4 per thread), a single chunk when serial, capped so a
+     * straggler never holds more than 1024 jobs.
+     */
+    static std::size_t chunkFor(std::size_t n, unsigned pool);
 
     std::vector<std::thread> workers;
 
@@ -109,6 +118,7 @@ class BatchRunner
     std::size_t batchSize = 0; ///< 0 = no batch in flight
     std::size_t nextIndex = 0;
     std::size_t remaining = 0;
+    std::size_t chunkSize = 1;
     bool shuttingDown = false;
     /** (job index, exception) pairs captured during the batch. */
     std::vector<std::pair<std::size_t, std::exception_ptr>> errors;

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <memory>
+#include <new>
 
 #include "power/federated.hh"
 #include "power/parts.hh"
@@ -15,6 +17,53 @@
 
 using namespace capy;
 using namespace capy::power;
+
+namespace
+{
+
+/** Global heap-allocation counter for the zero-alloc assertions. */
+std::uint64_t g_newCalls = 0;
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    ++g_newCalls;
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 namespace
 {
@@ -117,6 +166,25 @@ TEST(Federated, StrandedEnergyIsInaccessible)
     EXPECT_GT(fs->node(2).energy(),
               0.8 * fs->node(2).energyAtVoltage(3.0))
         << "the radio node's energy is stranded";
+}
+
+TEST(Federated, TimeToNodeFullAllocatesNothing)
+{
+    // The peek must work on pre-sized scratch state: no heap traffic
+    // per query (the old implementation copied the node vector).
+    auto fs = makeFederation();
+    fs->advanceTo(5.0);
+    std::uint64_t before = g_newCalls;
+    sim::Time t2 = fs->timeToNodeFull(2);
+    for (int i = 0; i < 8; ++i)
+        (void)fs->timeToNodeFull(i % 3);
+    EXPECT_EQ(g_newCalls, before)
+        << "timeToNodeFull heap-allocated during the peek";
+    ASSERT_TRUE(std::isfinite(t2));
+    // And the peek must not disturb the live state.
+    double v0 = fs->nodeVoltage(0);
+    (void)fs->timeToNodeFull(2);
+    EXPECT_EQ(fs->nodeVoltage(0), v0);
 }
 
 TEST(Federated, TotalStoredEnergyAccounting)

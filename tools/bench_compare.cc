@@ -2,12 +2,18 @@
  * @file
  * BENCH_SIM.json comparator: gates the repo's performance trajectory.
  *
- * Reads two `capy-bench-sim-v1` baselines (written by bench_engine)
- * and exits non-zero when the candidate regresses the baseline by
- * more than the threshold (default 10%) on either headline metric:
+ * Reads two baselines (schema `capy-bench-sim-v1` or `-v2`, written
+ * by bench_engine and augmented by bench_power) and exits non-zero
+ * when the candidate regresses the baseline by more than the
+ * threshold (default 10%) on any headline metric:
  *
- *  - event_queue.events_per_sec   (lower is a regression), or
- *  - sweep.parallel_wall_s        (higher is a regression).
+ *  - event_queue.events_per_sec        (lower is a regression),
+ *  - sweep.parallel_wall_s             (higher is a regression),
+ *  - power.advance_steps_per_sec       (v2; lower is a regression),
+ *  - power.query_bundles_per_sec      (v2; lower is a regression).
+ *
+ * The power metrics are gated only when both files carry them, so a
+ * v2 candidate still compares cleanly against a v1 baseline.
  *
  * Usage:
  *   bench_compare [--threshold FRACTION] BASELINE.json CANDIDATE.json
@@ -52,6 +58,9 @@ struct Baseline
 {
     double eventsPerSec = NAN;
     double sweepWall = NAN;
+    // v2 power section; NAN when absent (v1 files).
+    double advanceStepsPerSec = NAN;
+    double queryBundlesPerSec = NAN;
 };
 
 bool
@@ -65,15 +74,18 @@ loadBaseline(const char *path, Baseline &out)
     std::ostringstream buf;
     buf << in.rdbuf();
     std::string text = buf.str();
-    if (text.find("\"capy-bench-sim-v1\"") == std::string::npos) {
+    if (text.find("\"capy-bench-sim-v1\"") == std::string::npos &&
+        text.find("\"capy-bench-sim-v2\"") == std::string::npos) {
         std::fprintf(stderr,
-                     "bench_compare: %s is not a capy-bench-sim-v1 "
+                     "bench_compare: %s is not a capy-bench-sim-v1/v2 "
                      "baseline\n",
                      path);
         return false;
     }
     out.eventsPerSec = findNumber(text, "events_per_sec");
     out.sweepWall = findNumber(text, "parallel_wall_s");
+    out.advanceStepsPerSec = findNumber(text, "advance_steps_per_sec");
+    out.queryBundlesPerSec = findNumber(text, "query_bundles_per_sec");
     if (std::isnan(out.eventsPerSec) || std::isnan(out.sweepWall) ||
         out.eventsPerSec <= 0.0 || out.sweepWall <= 0.0) {
         std::fprintf(stderr,
@@ -111,6 +123,20 @@ compareBaselines(const Baseline &base, const Baseline &cand,
                 cand.eventsPerSec, threshold, true);
     ok &= judge("sweep.parallel_wall_s", base.sweepWall,
                 cand.sweepWall, threshold, false);
+    // Power metrics are optional (v1 files lack them): gate only when
+    // both sides measured them.
+    if (!std::isnan(base.advanceStepsPerSec) &&
+        !std::isnan(cand.advanceStepsPerSec)) {
+        ok &= judge("power.advance_steps_per_sec",
+                    base.advanceStepsPerSec, cand.advanceStepsPerSec,
+                    threshold, true);
+    }
+    if (!std::isnan(base.queryBundlesPerSec) &&
+        !std::isnan(cand.queryBundlesPerSec)) {
+        ok &= judge("power.query_bundles_per_sec",
+                    base.queryBundlesPerSec, cand.queryBundlesPerSec,
+                    threshold, true);
+    }
     if (!ok) {
         std::printf("bench_compare: FAIL (threshold %.0f%%)\n",
                     threshold * 100.0);
@@ -132,16 +158,32 @@ compareFiles(const char *base_path, const char *cand_path,
     return compareBaselines(base, cand, threshold);
 }
 
-/** Render a minimal but schema-valid baseline for the self-test. */
+/** Render a minimal but schema-valid baseline for the self-test.
+ *  @p query_bundles_per_sec <= 0 renders a v1 file with no power
+ *  section. */
 std::string
-syntheticJson(double events_per_sec, double parallel_wall_s)
+syntheticJson(double events_per_sec, double parallel_wall_s,
+              double query_bundles_per_sec = 0.0)
 {
-    char buf[256];
-    std::snprintf(buf, sizeof buf,
-                  "{\n  \"schema\": \"capy-bench-sim-v1\",\n"
-                  "  \"event_queue\": { \"events_per_sec\": %.6g },\n"
-                  "  \"sweep\": { \"parallel_wall_s\": %.6g }\n}\n",
-                  events_per_sec, parallel_wall_s);
+    char buf[512];
+    if (query_bundles_per_sec <= 0.0) {
+        std::snprintf(
+            buf, sizeof buf,
+            "{\n  \"schema\": \"capy-bench-sim-v1\",\n"
+            "  \"event_queue\": { \"events_per_sec\": %.6g },\n"
+            "  \"sweep\": { \"parallel_wall_s\": %.6g }\n}\n",
+            events_per_sec, parallel_wall_s);
+    } else {
+        std::snprintf(
+            buf, sizeof buf,
+            "{\n  \"schema\": \"capy-bench-sim-v2\",\n"
+            "  \"event_queue\": { \"events_per_sec\": %.6g },\n"
+            "  \"sweep\": { \"parallel_wall_s\": %.6g },\n"
+            "  \"power\": {\n"
+            "    \"advance_steps_per_sec\": 5e6,\n"
+            "    \"query_bundles_per_sec\": %.6g\n  }\n}\n",
+            events_per_sec, parallel_wall_s, query_bundles_per_sec);
+    }
     return buf;
 }
 
@@ -165,27 +207,32 @@ selfTest()
     struct Case
     {
         const char *name;
-        double events, wall;  ///< candidate, vs base 1e7 / 0.1 s
+        double baseQueries;  ///< base power metric; 0 = v1 file
+        double events, wall; ///< candidate, vs base 1e7 / 0.1 s
+        double queries;      ///< candidate power metric; 0 = v1 file
         int expected;
     };
     const Case cases[] = {
-        {"identical", 1e7, 0.1, 0},
-        {"events 20% slower", 0.8e7, 0.1, 1},
-        {"sweep 20% slower", 1e7, 0.12, 1},
-        {"events 5% slower (within 10%)", 0.95e7, 0.1, 0},
-        {"both 30% faster", 1.3e7, 0.07, 0},
+        {"identical", 0.0, 1e7, 0.1, 0.0, 0},
+        {"events 20% slower", 0.0, 0.8e7, 0.1, 0.0, 1},
+        {"sweep 20% slower", 0.0, 1e7, 0.12, 0.0, 1},
+        {"events 5% slower (within 10%)", 0.0, 0.95e7, 0.1, 0.0, 0},
+        {"both 30% faster", 0.0, 1.3e7, 0.07, 0.0, 0},
+        {"v2 identical", 1e5, 1e7, 0.1, 1e5, 0},
+        {"v2 queries 20% slower", 1e5, 1e7, 0.1, 0.8e5, 1},
+        {"v2 queries 2x faster", 1e5, 1e7, 0.1, 2e5, 0},
+        {"v1 base vs v2 candidate", 0.0, 1e7, 0.1, 1e5, 0},
+        {"v2 base vs v1 candidate", 1e5, 1e7, 0.1, 0.0, 0},
     };
     const std::string base_path = "bench_compare_selftest_base.json";
     const std::string cand_path = "bench_compare_selftest_cand.json";
-    if (!writeFile(base_path, syntheticJson(1e7, 0.1))) {
-        std::fprintf(stderr, "self-test: cannot write %s\n",
-                     base_path.c_str());
-        return 2;
-    }
     int failures = 0;
     for (const Case &c : cases) {
         std::printf("self-test case: %s\n", c.name);
-        if (!writeFile(cand_path, syntheticJson(c.events, c.wall)))
+        if (!writeFile(base_path,
+                       syntheticJson(1e7, 0.1, c.baseQueries)) ||
+            !writeFile(cand_path,
+                       syntheticJson(c.events, c.wall, c.queries)))
             return 2;
         int rc = compareFiles(base_path.c_str(), cand_path.c_str(),
                               0.10);
