@@ -1,6 +1,7 @@
 #include "apps/capysat.hh"
 
 #include <memory>
+#include <optional>
 
 #include "dev/mcu.hh"
 #include "dev/peripheral.hh"
@@ -44,7 +45,8 @@ satPowerSystem(const env::OrbitLight &orbit, double panel_share,
 } // namespace
 
 CapySatResult
-runCapySat(double orbits, std::uint64_t seed)
+runCapySat(double orbits, std::uint64_t seed,
+           const FaultSpec *faults)
 {
     sim::Simulator simulator;
     env::OrbitLight orbit;
@@ -110,12 +112,61 @@ runCapySat(double orbits, std::uint64_t seed)
     beacon->absolutePower = sat_radio.txPower;
     rt::Kernel kernel_comm(mcu_comm, comm_app);
 
+    // Fault wiring is manual here (FaultHarness assumes one device):
+    // both MCUs share the supply bus, so one injector drives failures
+    // into both, and each MCU gets its own auditor.
+    std::optional<rt::CrashAuditor> audit_sample;
+    std::optional<rt::CrashAuditor> audit_comm;
+    std::optional<sim::FaultInjector> injector;
+    if (faults) {
+        if (faults->audit) {
+            audit_sample.emplace(mcu_sample);
+            audit_sample->watchKernel(kernel_sample);
+            audit_comm.emplace(mcu_comm);
+            audit_comm->watchKernel(kernel_comm);
+            if (faults->watchLatches) {
+                audit_sample->watchLatches();
+                audit_comm->watchLatches();
+            }
+        }
+        if (!faults->plan.empty()) {
+            injector.emplace(
+                simulator, faults->plan,
+                [&mcu_sample, &mcu_comm, kind = faults->kind] {
+                    bool hit_sample =
+                        mcu_sample.injectPowerFailure(kind);
+                    bool hit_comm = mcu_comm.injectPowerFailure(kind);
+                    return hit_sample || hit_comm;
+                });
+        }
+    }
+
     kernel_sample.start();
     kernel_comm.start();
     simulator.runUntil(orbits * orbit.spec().orbitPeriod);
 
+    if (injector) {
+        result.faults.attempts = injector->attempts();
+        result.faults.fired = injector->fired();
+    }
+    for (auto *aud : {audit_sample ? &*audit_sample : nullptr,
+                      audit_comm ? &*audit_comm : nullptr}) {
+        if (!aud)
+            continue;
+        aud->checkNow();
+        result.faults.outagesAudited += aud->outagesAudited();
+        result.faults.checksRun += aud->checksRun();
+        result.faults.violations += aud->violations().size();
+        result.faults.violationText += aud->report();
+        auto spans = aud->activeSpans();
+        result.faults.activeSpans.insert(
+            result.faults.activeSpans.end(), spans.begin(),
+            spans.end());
+    }
+
     result.samplingMcu = mcu_sample.stats();
     result.commMcu = mcu_comm.stats();
+    result.simEvents = simulator.eventsExecuted();
     // §6.6: the diode splitter matches storage to demand at ~20% of
     // the area of the general-purpose switch module.
     result.switchArea = power::SwitchSpec{}.area;

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "apps/faults.hh"
 #include "dev/device.hh"
 
 namespace capy::apps
@@ -35,13 +36,19 @@ struct CapySatResult
     double splitterArea = 0.0;
     double switchArea = 0.0;
     double capacitorVolume = 0.0;  ///< total storage volume, mm^3
+    std::uint64_t simEvents = 0;   ///< simulator events executed
+    /** Injection/audit outcome across both MCUs (zero unfaulted). */
+    FaultReport faults;
 };
 
 /**
  * Fly the satellite for @p orbits orbits.
  * @param seed RNG seed for radio loss.
+ * @param faults optional fault spec; each injection attempt targets
+ *        both MCUs (a bus-level supply fault hits the whole board).
  */
-CapySatResult runCapySat(double orbits, std::uint64_t seed);
+CapySatResult runCapySat(double orbits, std::uint64_t seed,
+                         const FaultSpec *faults = nullptr);
 
 } // namespace capy::apps
 

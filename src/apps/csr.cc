@@ -12,7 +12,8 @@ using namespace capy::literals;
 
 RunMetrics
 runCorrSense(core::Policy policy, const env::EventSchedule &schedule,
-             std::uint64_t seed, double horizon)
+             std::uint64_t seed, double horizon,
+             const FaultSpec *faults)
 {
     sim::Simulator simulator;
     Board board = makeBoard(simulator, AppBoard::CorrSense, policy);
@@ -95,11 +96,20 @@ runCorrSense(core::Policy policy, const env::EventSchedule &schedule,
     runtime.annotate(led, core::Annotation::burst(board.bigMode));
     runtime.annotate(radio_tx, core::Annotation::burst(board.bigMode));
     runtime.install();
+
+    std::optional<FaultHarness> harness;
+    if (faults) {
+        harness.emplace(*board.device, *faults, &fram);
+        harness->watchKernel(kernel);
+    }
+
     kernel.start();
     simulator.runUntil(horizon);
 
     RunMetrics out;
     collectMetrics(out, sb, *board.device, kernel, runtime, radio);
+    if (harness)
+        out.faults = harness->finish();
     return out;
 }
 

@@ -14,11 +14,15 @@
 namespace capy::apps
 {
 
-/** Run the CSR application under @p policy against @p schedule. */
+/**
+ * Run the CSR application under @p policy against @p schedule.
+ * @param faults optional fault-injection/audit spec (crash sweeps).
+ */
 RunMetrics runCorrSense(core::Policy policy,
                         const env::EventSchedule &schedule,
                         std::uint64_t seed,
-                        double horizon = kGrcHorizon);
+                        double horizon = kGrcHorizon,
+                        const FaultSpec *faults = nullptr);
 
 } // namespace capy::apps
 

@@ -34,6 +34,7 @@ collectMetrics(RunMetrics &out, const env::Scoreboard &sb,
     out.packetsSent = radio.packetsSent();
     out.packetsLost = radio.packetsLost();
     out.samples = sb.samples().size();
+    out.simEvents = device.simulator().eventsExecuted();
 
     double total = 0.0;
     for (const auto &span : device.spans().spans()) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "apps/boards.hh"
+#include "apps/faults.hh"
 #include "core/runtime.hh"
 #include "dev/radio.hh"
 #include "env/events.hh"
@@ -45,6 +46,10 @@ struct RunMetrics
     std::vector<std::pair<std::string, std::uint64_t>> bankCycles;
     /** Per-task energy attribution (§3 measurement methodology). */
     std::map<std::string, rt::Kernel::TaskEnergyUse> taskEnergy;
+    /** Simulator events executed over the run. */
+    std::uint64_t simEvents = 0;
+    /** Injection/audit outcome (all-zero for unfaulted runs). */
+    FaultReport faults;
 };
 
 /** TA evaluation horizon: 50 events over 120 minutes (§6.2). */

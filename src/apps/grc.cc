@@ -26,7 +26,7 @@ grcVariantName(GrcVariant variant)
 RunMetrics
 runGestureRemote(GrcVariant variant, core::Policy policy,
                  const env::EventSchedule &schedule, std::uint64_t seed,
-                 double horizon)
+                 double horizon, const FaultSpec *faults)
 {
     sim::Simulator simulator;
     AppBoard board_kind = variant == GrcVariant::Fast
@@ -151,11 +151,20 @@ runGestureRemote(GrcVariant variant, core::Policy policy,
                          core::Annotation::burst(board.bigMode));
     }
     runtime.install();
+
+    std::optional<FaultHarness> harness;
+    if (faults) {
+        harness.emplace(*board.device, *faults, &fram);
+        harness->watchKernel(kernel);
+    }
+
     kernel.start();
     simulator.runUntil(horizon);
 
     RunMetrics out;
     collectMetrics(out, sb, *board.device, kernel, runtime, radio);
+    if (harness)
+        out.faults = harness->finish();
     return out;
 }
 

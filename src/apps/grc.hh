@@ -31,11 +31,13 @@ const char *grcVariantName(GrcVariant variant);
 
 /**
  * Run the GRC application under @p policy against @p schedule.
+ * @param faults optional fault-injection/audit spec (crash sweeps).
  */
 RunMetrics runGestureRemote(GrcVariant variant, core::Policy policy,
                             const env::EventSchedule &schedule,
                             std::uint64_t seed,
-                            double horizon = kGrcHorizon);
+                            double horizon = kGrcHorizon,
+                            const FaultSpec *faults = nullptr);
 
 } // namespace capy::apps
 

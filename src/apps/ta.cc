@@ -13,7 +13,7 @@ using namespace capy::literals;
 RunMetrics
 runTempAlarm(core::Policy policy, const env::EventSchedule &schedule,
              std::uint64_t seed, double horizon,
-             double precharge_penalty)
+             double precharge_penalty, const FaultSpec *faults)
 {
     sim::Simulator simulator;
     Board board = makeBoard(simulator, AppBoard::TempAlarm, policy,
@@ -76,11 +76,20 @@ runTempAlarm(core::Policy policy, const env::EventSchedule &schedule,
                                                        board.smallMode));
     runtime.annotate(radio_tx, core::Annotation::burst(board.bigMode));
     runtime.install();
+
+    std::optional<FaultHarness> harness;
+    if (faults) {
+        harness.emplace(*board.device, *faults, &fram);
+        harness->watchKernel(kernel);
+    }
+
     kernel.start();
     simulator.runUntil(horizon);
 
     RunMetrics out;
     collectMetrics(out, sb, *board.device, kernel, runtime, radio);
+    if (harness)
+        out.faults = harness->finish();
     return out;
 }
 

@@ -25,12 +25,14 @@ namespace capy::apps
  * @param horizon simulated run length, s.
  * @param precharge_penalty if >= 0, overrides the hardware's
  *        pre-charge voltage penalty (§6.4 ablation).
+ * @param faults optional fault-injection/audit spec (crash sweeps).
  */
 RunMetrics runTempAlarm(core::Policy policy,
                         const env::EventSchedule &schedule,
                         std::uint64_t seed,
                         double horizon = kTaHorizon,
-                        double precharge_penalty = -1.0);
+                        double precharge_penalty = -1.0,
+                        const FaultSpec *faults = nullptr);
 
 } // namespace capy::apps
 

@@ -145,10 +145,12 @@ Device::beginBoot()
 
     sim::Time t_bo = ps->timeToBrownout();
     if (t_bo < mcuSpec.bootTime - kRaceTol) {
+        pendingIsFail = true;
         pendingEvent =
             sim.schedule(t_bo, [this] { failPower(true); });
         return;
     }
+    pendingIsFail = false;
     pendingEvent =
         sim.schedule(mcuSpec.bootTime, [this] { onBootDone(); });
 }
@@ -164,6 +166,8 @@ Device::onBootDone()
         ps->setRailLoad(mcuSpec.activePower);
     }
     transitionSpan("on");
+    if (observer.onRailUp)
+        observer.onRailUp();
     if (hooks.onBoot)
         hooks.onBoot();
 }
@@ -179,11 +183,14 @@ Device::runWorkload(double rail_power, double duration,
 
     workloadPower = rail_power;
     workloadStart = sim.now();
+    workloadActive = true;
 
     if (mode == PowerMode::Continuous) {
+        pendingIsFail = false;
         pendingEvent = sim.schedule(
             duration, [this, cb = std::move(on_complete)] {
                 pendingEvent = sim::kInvalidEvent;
+                workloadActive = false;
                 ++devStats.workloadsCompleted;
                 cb();
             });
@@ -195,13 +202,16 @@ Device::runWorkload(double rail_power, double duration,
     sim::Time t_bo = ps->timeToBrownout();
     if (t_bo < duration - kRaceTol) {
         ++devStats.workloadsAborted;
+        pendingIsFail = true;
         pendingEvent =
             sim.schedule(t_bo, [this] { failPower(false); });
         return;
     }
+    pendingIsFail = false;
     pendingEvent = sim.schedule(
         duration, [this, cb = std::move(on_complete)] {
             pendingEvent = sim::kInvalidEvent;
+            workloadActive = false;
             ps->advanceTo(sim.now());
             // Back to the kernel's baseline compute draw between
             // workloads.
@@ -215,6 +225,8 @@ void
 Device::failPower(bool during_boot)
 {
     pendingEvent = sim::kInvalidEvent;
+    pendingIsFail = false;
+    workloadActive = false;
     ++devStats.powerFailures;
     if (!during_boot) {
         lastAborted = AbortedWorkload{workloadPower,
@@ -226,10 +238,50 @@ Device::failPower(bool during_boot)
     ps->setRailEnabled(false);
     if (hooks.onPowerFail)
         hooks.onPowerFail();
+    // Audit instrumentation runs after the software hook so it sees
+    // the exact state the outage leaves behind.
+    if (observer.onRailDown)
+        observer.onRailDown(RailDownReason::PowerFailure);
     if (mode == PowerMode::Continuous) {
         capy_panic("continuous-power device cannot brown out");
     }
     enterCharging();
+}
+
+bool
+Device::injectPowerFailure(FailureKind kind)
+{
+    if (mode == PowerMode::Continuous)
+        return false;
+    if (state != State::On && state != State::Booting)
+        return false;  // a supply fault is invisible to an off device
+    bool during_boot = (state == State::Booting);
+    bool physics_claimed_abort = pendingIsFail;
+    if (pendingEvent != sim::kInvalidEvent) {
+        sim.cancel(pendingEvent);
+        pendingEvent = sim::kInvalidEvent;
+        pendingIsFail = false;
+    }
+    if (!during_boot) {
+        if (workloadActive) {
+            // The physics pre-counts an abort when it predicts one at
+            // schedule time; only count here if the workload would
+            // otherwise have completed.
+            if (!physics_claimed_abort)
+                ++devStats.workloadsAborted;
+        } else {
+            // Failure between workloads: the aborted "workload" is
+            // the kernel's baseline draw with zero progress lost.
+            workloadPower = ps->railLoad();
+            workloadStart = sim.now();
+        }
+    }
+    ++devStats.injectedFailures;
+    ps->advanceTo(sim.now());
+    if (kind == FailureKind::Collapse)
+        ps->collapseToBrownout();
+    failPower(during_boot);
+    return true;
 }
 
 void
@@ -240,7 +292,11 @@ Device::powerDown()
     if (pendingEvent != sim::kInvalidEvent) {
         sim.cancel(pendingEvent);
         pendingEvent = sim::kInvalidEvent;
+        pendingIsFail = false;
     }
+    workloadActive = false;
+    if (observer.onRailDown)
+        observer.onRailDown(RailDownReason::Park);
     if (mode == PowerMode::Continuous) {
         // A continuously-powered board "recharges" instantly: reboot.
         state = State::Booting;

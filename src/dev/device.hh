@@ -48,6 +48,46 @@ class Device
         std::function<void()> onPowerFail;
     };
 
+    /** How an injected power failure treats the storage buffer. */
+    enum class FailureKind
+    {
+        /**
+         * Supply collapse: the storage node is dumped to the brown-out
+         * floor, so recovery requires a full recharge phase. The
+         * physical-brownout equivalent and the default for crash
+         * sweeps.
+         */
+        Collapse,
+        /**
+         * Transient glitch: the MCU resets (volatile state lost, same
+         * software-visible failure) but the buffer keeps its charge,
+         * so the device typically reboots immediately. Exercises
+         * back-to-back failure recovery.
+         */
+        Glitch,
+    };
+
+    /** Why the rail went down (Observer::onRailDown). */
+    enum class RailDownReason
+    {
+        PowerFailure,  ///< brown-out or injected failure
+        Park,          ///< voluntary powerDown() to recharge
+    };
+
+    /**
+     * Audit instrumentation. Unlike Hooks (the software under test),
+     * an Observer watches from outside: onRailDown fires *after* the
+     * software's onPowerFail hook, so it sees the exact non-volatile
+     * state that must survive the outage, and onRailUp fires on boot
+     * completion *before* the software's onBoot hook, so it sees the
+     * recovered state before recovery code can repair it.
+     */
+    struct Observer
+    {
+        std::function<void()> onRailUp;
+        std::function<void(RailDownReason)> onRailDown;
+    };
+
     /** Lifetime counters. */
     struct Stats
     {
@@ -55,6 +95,8 @@ class Device
         std::uint64_t powerFailures = 0;
         /** Power failures that occurred during the boot sequence. */
         std::uint64_t bootFailures = 0;
+        /** Subset of powerFailures forced by injectPowerFailure(). */
+        std::uint64_t injectedFailures = 0;
         std::uint64_t workloadsCompleted = 0;
         std::uint64_t workloadsAborted = 0;
         double timeOn = 0.0;
@@ -71,6 +113,9 @@ class Device
     /** Install software hooks; must happen before start(). */
     void setHooks(Hooks hooks);
 
+    /** Install audit instrumentation (may be set at any time). */
+    void setObserver(Observer obs) { observer = std::move(obs); }
+
     /** Begin operation (start charging, or boot if continuous). */
     void start();
 
@@ -81,6 +126,7 @@ class Device
     bool isCharging() const { return state == State::Charging; }
 
     sim::Simulator &simulator() { return sim; }
+    const sim::Simulator &simulator() const { return sim; }
     power::PowerSystem &powerSystem() { return *ps; }
     const power::PowerSystem &powerSystem() const { return *ps; }
     const McuSpec &mcu() const { return mcuSpec; }
@@ -103,6 +149,19 @@ class Device
      * @pre isOn().
      */
     void powerDown();
+
+    /**
+     * Force a power failure right now (fault injection). The failure
+     * goes through exactly the machinery a physical brown-out would:
+     * any pending workload or boot completion is aborted, the rail
+     * drops, the software's onPowerFail hook fires with volatile
+     * state lost, and the device re-enters charging.
+     *
+     * @return true if a failure actually fired; false when the device
+     *         is unpowered (charging/idle/dead — a supply fault is
+     *         invisible) or on a continuous bench supply.
+     */
+    bool injectPowerFailure(FailureKind kind = FailureKind::Collapse);
 
     const Stats &stats() const { return devStats; }
 
@@ -145,8 +204,14 @@ class Device
     McuSpec mcuSpec;
     PowerMode mode;
     Hooks hooks;
+    Observer observer;
     State state = State::Idle;
     sim::EventId pendingEvent = sim::kInvalidEvent;
+    /** The pending event is a scheduled failPower(): its abort was
+     *  already accounted when the physics predicted it. */
+    bool pendingIsFail = false;
+    /** A workload is in flight (runWorkload scheduled, not resolved). */
+    bool workloadActive = false;
     Stats devStats;
     sim::SpanTrace activity;
     bool warnedStuck = false;

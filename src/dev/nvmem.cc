@@ -1,7 +1,38 @@
 #include "dev/nvmem.hh"
 
+#include <array>
+
 namespace capy::dev
 {
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+nvCrc32(const void *data, std::size_t len)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
 
 void
 NvMemory::noteWrite(std::uint64_t cell_writes)

@@ -6,18 +6,38 @@
  * endurance is effectively unlimited, but EEPROM-backed components
  * such as the V_top digital potentiometer of §5.2 are not, so the
  * accounting also backs the mechanism-comparison ablation).
+ *
+ * Crash-consistency model: the memory device commits one word
+ * (NvMemory::wordBytes) atomically; a value wider than one word is
+ * written word-by-word, so a power failure striking inside the write
+ * window leaves a *torn* value — a prefix of new words followed by
+ * old words. Plain NvCell writes are logically atomic (the software
+ * is assumed to publish them behind its own protocol, or they fit one
+ * word); NvJournaledCell implements that protocol explicitly — a
+ * two-slot journal with sequence numbers and a trailing CRC — and
+ * exposes tearSet() so the fault-injection harness can model a
+ * failure between the words of a commit and the auditor can verify
+ * detection and recovery.
  */
 
 #ifndef CAPY_DEV_NVMEM_HH
 #define CAPY_DEV_NVMEM_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
+#include <type_traits>
 
 #include "sim/logging.hh"
 
 namespace capy::dev
 {
+
+/** CRC-32 (IEEE, reflected) over @p len bytes; the journal slots'
+ *  integrity check. */
+std::uint32_t nvCrc32(const void *data, std::size_t len);
 
 /** Aggregate access accounting for one non-volatile memory device. */
 class NvMemory
@@ -43,12 +63,45 @@ class NvMemory
     bool wornOut() const { return wornFlag; }
     const std::string &name() const { return deviceName; }
 
+    /// @name Crash-consistency model
+    /// @{
+
+    /** Bytes the device commits atomically (FRAM word size). */
+    std::size_t wordBytes() const { return atomicWordBytes; }
+
+    /** Torn (partially completed) commits modelled on this device. */
+    std::uint64_t tornCommits() const { return numTornCommits; }
+    /** Reads that detected a torn/invalid slot and fell back to the
+     *  last consistent copy. */
+    std::uint64_t tornRecoveries() const { return numTornRecoveries; }
+
+    void noteTornCommit() { ++numTornCommits; }
+    void noteTornRecovery() { ++numTornRecoveries; }
+
+    /**
+     * Deliberately break the journal recovery path (fault-harness
+     * fixture): journaled reads return the newest slot even when its
+     * integrity check fails, as a buggy runtime that skips CRC
+     * verification would. Exists to prove the crash auditor catches a
+     * broken recovery path; never set outside tests/crash sweeps.
+     */
+    void disableRecoveryForTest(bool broken) { recoveryBroken = broken; }
+    bool recoveryDisabledForTest() const { return recoveryBroken; }
+
+    /// @}
+
   private:
     std::string deviceName;
     std::uint64_t endurance;
     std::uint64_t numReads = 0;
     std::uint64_t numWrites = 0;
     bool wornFlag = false;
+    /** MSP430-class FRAM commits 32-bit words atomically here; wider
+     *  values are multi-word and tearable. */
+    std::size_t atomicWordBytes = 4;
+    std::uint64_t numTornCommits = 0;
+    std::uint64_t numTornRecoveries = 0;
+    bool recoveryBroken = false;
 };
 
 /**
@@ -74,6 +127,10 @@ class NvCell
         return value;
     }
 
+    /** Read without touching the access accounting (audit probes must
+     *  not perturb the counters they audit alongside). */
+    const T &peek() const { return value; }
+
     void
     set(const T &v)
     {
@@ -89,6 +146,264 @@ class NvCell
     NvMemory *memory;
     T value;
     std::uint64_t cellWrites = 0;
+};
+
+/** Audit view of one journaled cell (see NvJournaledCell). */
+struct NvJournalState
+{
+    bool valid[2] = {false, false};  ///< slot CRC verifies
+    std::uint32_t seq[2] = {0, 0};   ///< slot sequence numbers
+    int active = -1;        ///< recovered slot index; -1 = reset value
+    bool torn = false;      ///< a slot currently holds a torn image
+    std::uint64_t commits = 0;      ///< completed set() protocols
+    std::uint64_t tornWrites = 0;   ///< tearSet() interruptions
+};
+
+/**
+ * Crash-consistent non-volatile cell for trivially copyable values
+ * wider than one memory word.
+ *
+ * Implements the classic two-slot journal: a commit writes the whole
+ * record — payload, then sequence number, then CRC — into the slot
+ * *not* currently active, and the reader picks the highest-sequence
+ * slot whose CRC verifies. Because the CRC words are written last, a
+ * power failure anywhere inside the multi-word write window leaves a
+ * slot that fails verification, and the reader falls back to the
+ * previous committed value; the cell never returns a torn value and a
+ * commit is atomic exactly at its final word.
+ *
+ * tearSet() models the interrupted commit: it writes only the first
+ * @p words memory words of the record the protocol would have
+ * written. The fault harness drives it from the power-failure hook
+ * with the interrupted write's elapsed fraction.
+ */
+template <typename T>
+class NvJournaledCell
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "journaled cells hold raw memory images");
+
+  public:
+    explicit NvJournaledCell(NvMemory *mem = nullptr, T initial = T{})
+        : memory(mem), resetValue(initial), slotA(mem), slotB(mem)
+    {}
+
+    /** Words in one slot record (the tearSet() range is [0, this]). */
+    std::size_t
+    slotWords() const
+    {
+        return (sizeof(Record) + wordBytes() - 1) / wordBytes();
+    }
+
+    /** Recovered value: newest consistent slot, or the reset value
+     *  when nothing ever committed. */
+    T
+    get() const
+    {
+        if (memory) {
+            memory->noteRead();
+            // A read that skips past a newer-but-torn slot is the
+            // recovery the crash audits want accounted.
+            if (!memory->recoveryDisabledForTest()) {
+                int active = activeSlot();
+                if (active >= 0) {
+                    int other = 1 - active;
+                    const Record &rec = slot(other).peek();
+                    if (slot(other).writeCount() > 0 &&
+                        !verifies(rec) &&
+                        rec.seq >= slot(active).peek().seq)
+                        memory->noteTornRecovery();
+                }
+            }
+        }
+        return recover();
+    }
+
+    /** get() without touching any accounting (audit probes). */
+    T peek() const { return recover(); }
+
+    /**
+     * Protocol-correct recovery, ignoring the broken-recovery test
+     * fixture: the value a correct reader recovers. Audit probes
+     * compare this against peek() — any divergence means the software
+     * read path returned a value the journal protocol would not.
+     */
+    T
+    auditRecover() const
+    {
+        int active = activeSlot();
+        return active < 0 ? resetValue : slot(active).peek().value;
+    }
+
+    /** Atomically commit @p v through the journal protocol. */
+    void
+    set(const T &v)
+    {
+        Record rec = compose(v);
+        slot(targetSlot()).set(rec);
+        ++numCommits;
+    }
+
+    /**
+     * Model a commit of @p v interrupted after @p words memory words
+     * (0 <= words <= slotWords()). words == slotWords() degenerates
+     * to a complete commit; anything less leaves a torn slot image
+     * that get() must detect and recover from.
+     */
+    void
+    tearSet(const T &v, std::size_t words)
+    {
+        std::size_t total = slotWords();
+        capy_assert(words <= total, "torn write of %zu/%zu words",
+                    words, total);
+        if (words == total) {
+            set(v);
+            return;
+        }
+        Record full = compose(v);
+        NvCell<Record> &target = slot(targetSlot());
+        Record image = target.peek();
+        std::memcpy(&image, &full, words * wordBytes());
+        target.set(image);
+        ++numTornWrites;
+        if (memory)
+            memory->noteTornCommit();
+    }
+
+    /** Audit snapshot; does not perturb accounting. */
+    NvJournalState
+    auditState() const
+    {
+        NvJournalState st;
+        for (int i = 0; i < 2; ++i) {
+            const Record &rec = slot(i).peek();
+            st.valid[i] = verifies(rec);
+            st.seq[i] = rec.seq;
+        }
+        st.active = activeSlot();
+        st.torn = (numCommits + numTornWrites > 0) &&
+                  (!st.valid[0] || !st.valid[1]) &&
+                  slot(st.valid[0] ? 1 : 0).writeCount() > 0;
+        st.commits = numCommits;
+        st.tornWrites = numTornWrites;
+        return st;
+    }
+
+    std::uint64_t commits() const { return numCommits; }
+    std::uint64_t tornWrites() const { return numTornWrites; }
+
+  private:
+    struct Record
+    {
+        T value{};
+        std::uint32_t seq = 0;
+        std::uint32_t crc = 0;
+    };
+
+    std::size_t
+    wordBytes() const
+    {
+        return memory ? memory->wordBytes() : 4;
+    }
+
+    static std::uint32_t
+    crcOf(const Record &rec)
+    {
+        // CRC covers payload and sequence number; 0 is reserved for
+        // "never written" so a fresh slot can't accidentally verify.
+        std::uint32_t c =
+            nvCrc32(&rec, offsetof(Record, crc));
+        return c == 0 ? 1 : c;
+    }
+
+    bool
+    verifies(const Record &rec) const
+    {
+        return rec.crc != 0 && rec.crc == crcOf(rec);
+    }
+
+    Record
+    compose(const T &v) const
+    {
+        Record rec;
+        rec.value = v;
+        rec.seq = nextSeq();
+        rec.crc = crcOf(rec);
+        return rec;
+    }
+
+    std::uint32_t
+    nextSeq() const
+    {
+        std::uint32_t hi = 0;
+        for (int i = 0; i < 2; ++i)
+            if (verifies(slot(i).peek()))
+                hi = std::max(hi, slot(i).peek().seq);
+        return hi + 1;
+    }
+
+    /** Slot a recovering reader selects; -1 when neither verifies. */
+    int
+    activeSlot() const
+    {
+        int best = -1;
+        std::uint32_t best_seq = 0;
+        for (int i = 0; i < 2; ++i) {
+            const Record &rec = slot(i).peek();
+            if (!verifies(rec))
+                continue;
+            if (best < 0 || rec.seq > best_seq) {
+                best = i;
+                best_seq = rec.seq;
+            }
+        }
+        return best;
+    }
+
+    T
+    recover() const
+    {
+        if (memory && memory->recoveryDisabledForTest()) {
+            // Broken-recovery fixture: trust whichever slot carries
+            // the newest sequence number, CRC unchecked — a torn
+            // commit whose CRC never landed gets believed.
+            if (slot(0).writeCount() + slot(1).writeCount() == 0)
+                return resetValue;
+            const Record &a = slot(0).peek();
+            const Record &b = slot(1).peek();
+            return (a.seq >= b.seq ? a : b).value;
+        }
+        return auditRecover();
+    }
+
+    /** The slot the next commit overwrites: never the active one. */
+    int
+    targetSlot() const
+    {
+        int active = activeSlot();
+        if (active < 0)
+            return 0;
+        return 1 - active;
+    }
+
+    NvCell<Record> &
+    slot(int i)
+    {
+        return i == 0 ? slotA : slotB;
+    }
+
+    const NvCell<Record> &
+    slot(int i) const
+    {
+        return i == 0 ? slotA : slotB;
+    }
+
+    NvMemory *memory;
+    T resetValue;
+    NvCell<Record> slotA;
+    NvCell<Record> slotB;
+    std::uint64_t numCommits = 0;
+    std::uint64_t numTornWrites = 0;
 };
 
 } // namespace capy::dev

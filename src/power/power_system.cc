@@ -503,6 +503,27 @@ PowerSystem::setChargeCeiling(double v)
     wasFull = isFull();
 }
 
+double
+PowerSystem::collapseToBrownout()
+{
+    Node node = activeNode();
+    if (!node.valid)
+        return 0.0;
+    // Land just below the floor so the rail cannot restart without a
+    // real recharge phase (mirrors the revert-threshold hysteresis).
+    double floor_v = brownoutVoltageNow() * (1.0 - 1e-9);
+    double floor_e = node.energyAt(std::max(floor_v, 0.0));
+    if (node.energy <= floor_e)
+        return 0.0;
+    double drained = node.energy - floor_e;
+    node.energy = floor_e;
+    writebackActive(node);
+    invalidateNode();
+    energyStats.faultDrained += drained;
+    recordTrace();
+    return drained;
+}
+
 void
 PowerSystem::clearChargeCeiling()
 {

@@ -66,6 +66,8 @@ class PowerSystem
         double harvestedIn = 0.0;   ///< J delivered into storage
         double drainedOut = 0.0;    ///< J drawn for the load + overhead
         double leaked = 0.0;        ///< J lost to storage leakage
+        /** J dumped by injected supply collapses (fault harness). */
+        double faultDrained = 0.0;
         std::uint64_t chargeCompletions = 0;  ///< times node hit full
     };
 
@@ -126,6 +128,19 @@ class PowerSystem
      */
     void setChargeCeiling(double v);
     void clearChargeCeiling();
+
+    /**
+     * Injected supply collapse: dump the active node's charge to just
+     * below the brown-out floor, as if the storage were suddenly
+     * shorted by a fault. The rail then browns out through the normal
+     * machinery, and recharge starts from the floor rather than from
+     * wherever the node happened to sit — matching a physical supply
+     * collapse, not a mere control-path abort. The dumped energy is
+     * accounted in EnergyStats::faultDrained.
+     *
+     * @return joules drained (0 when already at/below the floor).
+     */
+    double collapseToBrownout();
 
     /// @}
     /// @name Electrical state

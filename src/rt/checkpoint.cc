@@ -46,7 +46,35 @@ CheckpointKernel::onPowerFail()
     // Any power failure destroys volatile state: every slice computed
     // since the last committed checkpoint is lost — including when
     // the failure strikes during the checkpoint write itself.
-    inCompute = false;
+    double elapsed = dev.lastAbortedWorkload().elapsed;
+    switch (currentPhase) {
+      case Phase::Restore:
+        ckptStats.overheadLost += elapsed;
+        break;
+      case Phase::Compute:
+        // The interrupted slice's partial time is real lost work on
+        // top of the uncommitted slices already in flight.
+        ckptStats.lostWork += elapsed;
+        break;
+      case Phase::Checkpoint: {
+        ckptStats.overheadLost += elapsed;
+        // The NVM image is written word-by-word over the checkpoint
+        // window; a failure inside it leaves a torn record. The
+        // completion never ran, so at most all-but-one word landed.
+        std::size_t total = nvProgress.slotWords();
+        double frac =
+            std::clamp(elapsed / spec.checkpointTime, 0.0, 1.0);
+        auto words = static_cast<std::size_t>(
+            frac * static_cast<double>(total));
+        words = std::min(words, total - 1);
+        nvProgress.tearSet(pendingCommit, words);
+        ++ckptStats.tornCheckpoints;
+        break;
+      }
+      case Phase::None:
+        break;
+    }
+    currentPhase = Phase::None;
     ckptStats.lostWork += sliceInFlight;
     sliceInFlight = 0.0;
 }
@@ -55,10 +83,17 @@ void
 CheckpointKernel::restoreThenCompute()
 {
     if (nvProgress.get() > 0.0) {
-        ++ckptStats.restores;
-        ckptStats.overheadTime += spec.restoreTime;
+        currentPhase = Phase::Restore;
         dev.runWorkload(dev.mcu().activePower, spec.restoreTime,
-                        [this] { computeSlice(); });
+                        [this] {
+                            // Overhead accounts on completion: an
+                            // aborted restore is overheadLost, not a
+                            // restore.
+                            ++ckptStats.restores;
+                            ckptStats.overheadTime += spec.restoreTime;
+                            currentPhase = Phase::None;
+                            computeSlice();
+                        });
         return;
     }
     computeSlice();
@@ -101,16 +136,12 @@ CheckpointKernel::computeSlice()
     }
 
     double slice = std::min(remaining, t_lvi);
-    inCompute = true;
-    dev.runWorkload(compute_power, slice, [this, slice, remaining] {
-        inCompute = false;
+    currentPhase = Phase::Compute;
+    dev.runWorkload(compute_power, slice, [this, slice] {
+        currentPhase = Phase::None;
         sliceInFlight += slice;
-        if (slice >= remaining) {
-            // Work finished: commit immediately (final checkpoint).
-            writeCheckpoint(sliceInFlight);
-            return;
-        }
-        // LVI fired: save state while energy remains.
+        // Work finished (final checkpoint) or LVI fired (save state
+        // while energy remains): commit either way.
         writeCheckpoint(sliceInFlight);
     });
 }
@@ -118,13 +149,18 @@ CheckpointKernel::computeSlice()
 void
 CheckpointKernel::writeCheckpoint(double slice_work)
 {
-    ckptStats.overheadTime += spec.checkpointTime;
+    currentPhase = Phase::Checkpoint;
+    pendingCommit = nvProgress.get() + slice_work;
     dev.runWorkload(
         dev.mcu().activePower + spec.checkpointPower,
-        spec.checkpointTime, [this, slice_work] {
+        spec.checkpointTime, [this] {
+            // Overhead and count account on completion; an aborted
+            // write is overheadLost plus a torn journal slot.
             ++ckptStats.checkpoints;
-            nvProgress.set(nvProgress.get() + slice_work);
+            ckptStats.overheadTime += spec.checkpointTime;
+            nvProgress.set(pendingCommit);
             sliceInFlight = 0.0;
+            currentPhase = Phase::None;
             if (nvProgress.get() >= totalWork - 1e-12) {
                 done = true;
                 if (onComplete)

@@ -51,12 +51,31 @@ class CheckpointKernel
 
     struct Stats
     {
+        /** Checkpoint writes that committed. */
         std::uint64_t checkpoints = 0;
+        /** Restores that completed. */
         std::uint64_t restores = 0;
+        /** Checkpoint writes interrupted mid-commit (torn). */
+        std::uint64_t tornCheckpoints = 0;
         /** Compute time lost to power failures mid-slice, s. */
         double lostWork = 0.0;
-        /** Wall (simulated) time overhead in checkpoint/restore, s. */
+        /**
+         * Wall (simulated) time overhead in *completed* checkpoints
+         * and restores, s. Identity: overheadTime ==
+         * checkpoints * checkpointTime + restores * restoreTime.
+         */
         double overheadTime = 0.0;
+        /** Checkpoint/restore time spent but aborted by failures, s. */
+        double overheadLost = 0.0;
+    };
+
+    /** What the kernel was doing when a failure struck. */
+    enum class Phase
+    {
+        None,        ///< idle / hibernating / booting
+        Restore,     ///< reloading the checkpoint image
+        Compute,     ///< running a work slice
+        Checkpoint,  ///< writing the checkpoint image to NVM
     };
 
     /**
@@ -75,11 +94,29 @@ class CheckpointKernel
     /** Install hooks and begin (device starts charging). */
     void start();
 
-    /** Committed progress, s of work. */
+    /** Committed progress, s of work (journal-recovered). */
     double progress() const { return nvProgress.get(); }
 
     bool finished() const { return done; }
     const Stats &stats() const { return ckptStats; }
+
+    /** Work target, s. */
+    double workTarget() const { return totalWork; }
+
+    /** Mechanism parameters (for overhead-identity audits). */
+    const Spec &kernelSpec() const { return spec; }
+
+    /** Volatile work computed but not yet committed, s. */
+    double uncommittedWork() const { return sliceInFlight; }
+
+    /** Current phase (for audits; valid inside failure hooks). */
+    Phase phase() const { return currentPhase; }
+
+    /** The crash-consistent progress journal (audit access). */
+    const dev::NvJournaledCell<double> &progressCell() const
+    {
+        return nvProgress;
+    }
 
   private:
     void onBoot();
@@ -93,9 +130,11 @@ class CheckpointKernel
     double totalWork;
     double extraPower;
     std::function<void()> onComplete;
-    dev::NvCell<double> nvProgress;
+    dev::NvJournaledCell<double> nvProgress;
     double sliceInFlight = 0.0;
-    bool inCompute = false;
+    Phase currentPhase = Phase::None;
+    /** Progress value the in-flight checkpoint write will commit. */
+    double pendingCommit = 0.0;
     bool done = false;
     Stats ckptStats;
 };

@@ -78,6 +78,15 @@ class Kernel
     /** The task the NV pointer currently designates. */
     const Task *currentTask() const { return nvCurrent.get(); }
 
+    /** The crash-consistent task-pointer journal (audit access). */
+    const dev::NvJournaledCell<const Task *> &taskCell() const
+    {
+        return nvCurrent;
+    }
+
+    /** The application this kernel schedules. */
+    const App &app() const { return application; }
+
     /** True once a body returned nullptr. */
     bool halted() const { return isHalted; }
 
@@ -102,7 +111,10 @@ class Kernel
 
     dev::Device &dev;
     const App &application;
-    dev::NvCell<const Task *> nvCurrent;
+    /** The Chain NV task pointer. Committed through a two-slot
+     *  journal: the transition is atomic even though a pointer spans
+     *  two memory words. */
+    dev::NvJournaledCell<const Task *> nvCurrent;
     PreTaskGate preTaskGate;
     Stats kernelStats;
     std::map<std::string, TaskEnergyUse> taskEnergy;

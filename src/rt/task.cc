@@ -46,4 +46,13 @@ App::find(const std::string &name) const
     return nullptr;
 }
 
+bool
+App::owns(const Task *task) const
+{
+    for (const Task &t : tasks)
+        if (&t == task)
+            return true;
+    return false;
+}
+
 } // namespace capy::rt

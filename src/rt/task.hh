@@ -83,6 +83,10 @@ class App
     /** Look up a task by name; nullptr when absent. */
     const Task *find(const std::string &name) const;
 
+    /** Whether @p task is one of this app's tasks (audit check on a
+     *  pointer recovered from non-volatile memory). */
+    bool owns(const Task *task) const;
+
   private:
     std::deque<Task> tasks;
     const Task *entryTask = nullptr;

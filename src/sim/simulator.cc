@@ -33,6 +33,7 @@ Simulator::run()
                     "event time %g behind clock %g", when, currentTime);
         currentTime = when;
         queue.runNext();
+        afterEvent();
     }
 }
 
@@ -48,9 +49,17 @@ Simulator::runUntil(Time until)
         Time when = queue.nextTime();
         currentTime = when;
         queue.runNext();
+        afterEvent();
     }
     if (!stopRequested)
         currentTime = until;
+}
+
+void
+Simulator::afterEvent()
+{
+    if (postEvent)
+        postEvent();
 }
 
 } // namespace capy::sim

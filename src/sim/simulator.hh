@@ -62,10 +62,21 @@ class Simulator
     /** Number of pending (not cancelled) events. */
     std::size_t pendingEvents() const { return queue.pending(); }
 
+    /**
+     * Install a hook run after every executed event (instrumentation:
+     * event-count-triggered fault injection). One slot; pass an empty
+     * Callback to clear. The hook may schedule events and stop(), and is
+     * not invoked for events it causes to run within the same call.
+     */
+    void setPostEventHook(Callback hook) { postEvent = std::move(hook); }
+
   private:
+    void afterEvent();
+
     EventQueue queue;
     Time currentTime = 0.0;
     bool stopRequested = false;
+    Callback postEvent;
 };
 
 } // namespace capy::sim
